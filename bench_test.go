@@ -1,0 +1,202 @@
+// Top-level benchmarks: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 6), plus ablation benches for the design
+// choices called out in DESIGN.md and micro-benchmarks of the core data
+// structures. Each figure bench regenerates the corresponding series at a
+// reduced scale; `go run ./cmd/quaestor-bench -scale 1` reproduces the
+// full-parameter versions.
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quaestor/internal/ebf"
+	"quaestor/internal/experiments"
+	"quaestor/internal/server"
+	"quaestor/internal/sim"
+	"quaestor/internal/ttl"
+	"quaestor/internal/workload"
+)
+
+// benchScale keeps the per-iteration cost of figure benches tractable.
+const benchScale = experiments.Scale(0.05)
+
+func runExperiment(b *testing.B, fn func() string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := fn()
+		if len(out) == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// BenchmarkFigure1_PageLoad regenerates the provider × region page-load
+// comparison (Figure 1).
+func BenchmarkFigure1_PageLoad(b *testing.B) {
+	runExperiment(b, experiments.Figure1)
+}
+
+// BenchmarkFigure8a_Throughput regenerates the throughput-vs-connections
+// comparison across the four systems (Figure 8a).
+func BenchmarkFigure8a_Throughput(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure8a(benchScale) })
+}
+
+// BenchmarkFigure8b_ReadLatency regenerates read latency vs connections
+// (Figure 8b).
+func BenchmarkFigure8b_ReadLatency(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure8b(benchScale) })
+}
+
+// BenchmarkFigure8c_QueryLatency regenerates query latency vs connections
+// (Figure 8c).
+func BenchmarkFigure8c_QueryLatency(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure8c(benchScale) })
+}
+
+// BenchmarkFigure8d_QueryCount regenerates mean request latency vs query
+// count (Figure 8d).
+func BenchmarkFigure8d_QueryCount(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure8d(benchScale) })
+}
+
+// BenchmarkFigure8e_HitRates regenerates client/CDN hit rates vs query
+// count (Figure 8e).
+func BenchmarkFigure8e_HitRates(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure8e(benchScale) })
+}
+
+// BenchmarkFigure8f_Histogram regenerates the query latency histogram
+// (Figure 8f).
+func BenchmarkFigure8f_Histogram(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure8f(benchScale) })
+}
+
+// BenchmarkFigure9_UpdateRates regenerates hit-rate degradation under
+// growing update rates per EBF refresh interval (Figure 9).
+func BenchmarkFigure9_UpdateRates(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure9(benchScale) })
+}
+
+// BenchmarkFigure10_Staleness regenerates stale read/query rates vs EBF
+// refresh interval (Figure 10).
+func BenchmarkFigure10_Staleness(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure10(benchScale) })
+}
+
+// BenchmarkFigure11_TTLCDF regenerates the estimated-vs-true TTL CDF
+// comparison (Figure 11).
+func BenchmarkFigure11_TTLCDF(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure11(benchScale) })
+}
+
+// BenchmarkFigure12_InvaliDB regenerates InvaliDB's throughput scaling
+// under latency bounds (Figure 12) on the real pipeline.
+func BenchmarkFigure12_InvaliDB(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Figure12(benchScale) })
+}
+
+// BenchmarkTable1_DocumentCounts regenerates the document-count sweep
+// (Table 1).
+func BenchmarkTable1_DocumentCounts(b *testing.B) {
+	runExperiment(b, func() string { return experiments.Table1(benchScale) })
+}
+
+// BenchmarkAblationCoherence compares EBF coherence against static TTLs and
+// no client caching.
+func BenchmarkAblationCoherence(b *testing.B) {
+	runExperiment(b, func() string { return experiments.AblationCoherence(benchScale) })
+}
+
+// BenchmarkAblationTTLEstimator sweeps the estimator's quantile and EWMA α.
+func BenchmarkAblationTTLEstimator(b *testing.B) {
+	runExperiment(b, func() string { return experiments.AblationTTL(benchScale) })
+}
+
+// BenchmarkAblationRepresentation compares object-list, id-list and
+// cost-based query materializations end to end in the simulator.
+func BenchmarkAblationRepresentation(b *testing.B) {
+	runExperiment(b, func() string { return experiments.AblationRepresentation(benchScale) })
+}
+
+// BenchmarkAblationEstimators compares Quaestor's Poisson/EWMA TTL
+// estimation against the Alex protocol and fixed TTLs on synthetic Poisson
+// write streams.
+func BenchmarkAblationEstimators(b *testing.B) {
+	runExperiment(b, func() string { return experiments.AblationEstimators(benchScale) })
+}
+
+// BenchmarkRepresentationCostModel measures the decision function itself.
+func BenchmarkRepresentationCostModel(b *testing.B) {
+	cost := ttl.RepresentationCost{
+		ResultSize:     10,
+		ChangeRate:     0.5,
+		MembershipRate: 0.15,
+		RecordHitRate:  0.8,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := ttl.ChooseRepresentation(cost); got != ttl.IDList && got != ttl.ObjectList {
+			b.Fatal("invalid representation")
+		}
+	}
+}
+
+// BenchmarkEBFThroughput measures Expiring Bloom Filter operation
+// throughput — the paper reports >150K queries or invalidations per second
+// per Redis instance for the shared variant; the in-memory variant here is
+// the single-server deployment.
+func BenchmarkEBFThroughput(b *testing.B) {
+	e := ebf.New(nil)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("q:posts/tag%04d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		e.ReportRead(k, time.Minute)
+		e.ReportWrite(k)
+	}
+}
+
+// BenchmarkEBFSnapshot measures flat-filter snapshot generation, the
+// per-connection piggyback cost.
+func BenchmarkEBFSnapshot(b *testing.B) {
+	e := ebf.New(nil)
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("q:posts/tag%05d", i)
+		e.ReportRead(k, time.Hour)
+		e.ReportWrite(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := e.Snapshot()
+		if snap.Filter == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator speed (events/s) —
+// the Monte Carlo substrate's own performance.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := sim.Run(&sim.Config{
+			Dataset:        &workload.DatasetConfig{Tables: 2, DocsPerTable: 1000, QueriesPerTable: 50},
+			Clients:        4,
+			ConnsPerClient: 25,
+			Duration:       3 * time.Second,
+			Mode:           server.ModeFull,
+			MaxOps:         100000,
+		})
+		if m.Ops == 0 {
+			b.Fatal("no ops simulated")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command quaestor-server runs a standalone Quaestor DBaaS node: the REST
+// API over an in-memory sharded document store, with the Expiring Bloom
+// Filter, TTL estimation and an embedded InvaliDB cluster. Put any HTTP
+// caches (CDN, reverse proxy such as Varnish, browser caches) in front —
+// responses carry standard Cache-Control/ETag headers, and the server
+// purges registered reverse proxies on invalidation.
+//
+// Usage:
+//
+//	quaestor-server -addr :8080 -tables posts,users \
+//	    -query-partitions 4 -object-partitions 2 -mode quaestor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"quaestor/internal/invalidb"
+	"quaestor/internal/server"
+	"quaestor/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	tables := flag.String("tables", "posts", "comma-separated tables to create at startup")
+	queryParts := flag.Int("query-partitions", 2, "InvaliDB query partitions (columns)")
+	objectParts := flag.Int("object-partitions", 2, "InvaliDB object partitions (rows)")
+	maxQueries := flag.Int("max-queries", 10000, "InvaliDB active query capacity (0 = unlimited)")
+	modeName := flag.String("mode", "quaestor", "cache mode: quaestor, cdn-only, client-only, uncached")
+	shards := flag.Int("shards", 16, "store shards per table")
+	flag.Parse()
+
+	var mode server.CacheMode
+	switch *modeName {
+	case "quaestor":
+		mode = server.ModeFull
+	case "cdn-only":
+		mode = server.ModeCDNOnly
+	case "client-only":
+		mode = server.ModeClientOnly
+	case "uncached":
+		mode = server.ModeUncached
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	db := store.Open(&store.Options{ShardsPerTable: *shards})
+	defer db.Close()
+	srv := server.New(db, &server.Options{
+		Mode: mode,
+		InvaliDB: &invalidb.Config{
+			QueryPartitions:  *queryParts,
+			ObjectPartitions: *objectParts,
+			MaxQueries:       *maxQueries,
+		},
+	})
+	defer srv.Close()
+
+	for _, t := range strings.Split(*tables, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if err := db.CreateTable(t); err != nil {
+			log.Fatalf("creating table %q: %v", t, err)
+		}
+	}
+
+	fmt.Printf("quaestor-server listening on %s (mode=%s, invalidb=%dx%d)\n",
+		*addr, mode, *objectParts, *queryParts)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

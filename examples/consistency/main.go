@@ -1,0 +1,101 @@
+// Consistency: demonstrates the guarantee ladder of Figure 4 on a live
+// stack — Δ-atomicity with a client-chosen bound, read-your-writes,
+// monotonic reads, and opt-in strong consistency, all while results are
+// served from ordinary web caches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"quaestor/internal/cache"
+	"quaestor/internal/client"
+	"quaestor/internal/document"
+	"quaestor/internal/server"
+	"quaestor/internal/store"
+)
+
+func main() {
+	db := store.Open(nil)
+	defer db.Close()
+	srv := server.New(db, &server.Options{Mode: server.ModeFull})
+	defer srv.Close()
+	must(db.CreateTable("profiles"))
+
+	cdn := cache.NewHTTPTier("cdn", cache.InvalidationBased, srv.Handler(), time.Millisecond)
+	srv.AddPurger(server.PurgerFunc(func(path string) { cdn.Cache.Purge(path) }))
+
+	dial := func(delta time.Duration) *client.Client {
+		c, err := client.Dial(&client.Options{
+			Transport:       client.NewHandlerTransport(cdn),
+			RefreshInterval: delta,
+		})
+		must(err)
+		return c
+	}
+
+	// Two independent browser sessions with different staleness bounds.
+	alice := dial(500 * time.Millisecond) // tight Δ
+	bob := dial(10 * time.Second)         // relaxed Δ
+
+	must(alice.Insert("profiles", document.New("alice", map[string]any{
+		"name": "Alice", "status": "hello world",
+	})))
+
+	// --- Read-your-writes -------------------------------------------------
+	doc, err := alice.Read("profiles", "alice")
+	must(err)
+	status, _ := doc.Get("status")
+	fmt.Printf("read-your-writes: alice sees her own write immediately: %q\n", status)
+
+	// --- Warm bob's cache, then change the data ---------------------------
+	_, err = bob.Read("profiles", "alice")
+	must(err)
+	_, err = alice.Update("profiles", "alice", store.UpdateSpec{
+		Set: map[string]any{"status": "updated!"},
+	})
+	must(err)
+	time.Sleep(100 * time.Millisecond) // invalidation pipeline + purge
+
+	// --- Δ-atomicity -------------------------------------------------------
+	// Bob's cached copy may be served stale — but never older than his Δ.
+	doc, err = bob.Read("profiles", "alice")
+	must(err)
+	status, _ = doc.Get("status")
+	fmt.Printf("Δ-atomicity:      bob (Δ=10s, cached) reads %q; filter age %v\n",
+		status, bob.EBFAge().Round(time.Millisecond))
+
+	// Alice's tight Δ forces a fresh filter; the EBF flags the record and
+	// her read turns into a revalidation.
+	time.Sleep(500 * time.Millisecond)
+	doc, err = alice.Read("profiles", "alice")
+	must(err)
+	status, _ = doc.Get("status")
+	fmt.Printf("Δ-atomicity:      alice (Δ=0.5s) reads %q after EBF refresh\n", status)
+
+	// --- Strong consistency (opt-in) ---------------------------------------
+	doc, err = bob.ReadWith("profiles", "alice", client.ReadOptions{Consistency: client.Strong})
+	must(err)
+	status, _ = doc.Get("status")
+	fmt.Printf("strong (opt-in):  bob's explicit revalidation reads %q\n", status)
+
+	// --- Monotonic reads ----------------------------------------------------
+	// Having seen version N, bob will never observe an older version even
+	// if a cache still holds one.
+	doc, err = bob.Read("profiles", "alice")
+	must(err)
+	fmt.Printf("monotonic reads:  bob's next read is version %d (never regresses)\n", doc.Version)
+
+	a, b := alice.Stats(), bob.Stats()
+	fmt.Printf("\nalice: %d requests, %d revalidations, %d EBF refreshes\n",
+		a.NetworkRequests, a.Revalidations, a.EBFRefreshes)
+	fmt.Printf("bob:   %d requests, %d revalidations, %d EBF refreshes, %d local hits\n",
+		b.NetworkRequests, b.Revalidations, b.EBFRefreshes, b.CacheHits)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: bring up a full Quaestor stack in one process — document
+// store, DBaaS middleware, a CDN tier and a browser client — and watch
+// query results being served from web caches with bounded staleness.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"quaestor/internal/cache"
+	"quaestor/internal/client"
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/server"
+	"quaestor/internal/store"
+)
+
+func main() {
+	// 1. The database and the Quaestor middleware on top of it.
+	db := store.Open(nil)
+	defer db.Close()
+	srv := server.New(db, &server.Options{Mode: server.ModeFull})
+	defer srv.Close()
+	if err := db.CreateTable("posts"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A CDN edge in front of the origin: an invalidation-based HTTP
+	// cache that honours s-maxage and supports purging.
+	cdn := cache.NewHTTPTier("cdn", cache.InvalidationBased, srv.Handler(), 2*time.Millisecond)
+	srv.AddPurger(server.PurgerFunc(func(path string) { cdn.Cache.Purge(path) }))
+
+	// 3. A browser client connected through the CDN. Dial fetches the
+	// initial Expiring Bloom Filter.
+	c, err := client.Dial(&client.Options{
+		Transport:       client.NewHandlerTransport(cdn),
+		RefreshInterval: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Write some data through the client.
+	for i := 0; i < 5; i++ {
+		post := document.New(fmt.Sprintf("post%d", i), map[string]any{
+			"title": fmt.Sprintf("Post number %d", i),
+			"tags":  []any{"example", "demo"},
+		})
+		if err := c.Insert("posts", post); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 5. Query it twice: the first run misses every cache, the second is
+	// answered without touching the origin.
+	q := query.New("posts", query.Contains("tags", "example"))
+	for run := 1; run <= 2; run++ {
+		start := time.Now()
+		res, err := c.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: %d posts (%s, %d round-trips) in %v\n",
+			run, len(res.Docs), res.Representation, res.RoundTrips, time.Since(start).Round(time.Microsecond))
+	}
+
+	// 6. Change a post so it leaves the result set; InvaliDB detects the
+	// change, the EBF flags the query and the CDN copy is purged. After the
+	// client's next EBF refresh the stale result is revalidated.
+	if _, err := c.Update("posts", "post0", store.UpdateSpec{
+		Set: map[string]any{"tags": []any{"unrelated"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // let the invalidation pipeline run
+
+	res, err := c.QueryWith(q, client.ReadOptions{Consistency: client.Strong})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after update: %d posts (strong read)\n", len(res.Docs))
+
+	st := c.Stats()
+	cs := cdn.Cache.Stats()
+	fmt.Printf("client: %d requests, %d local hits, %d revalidations\n",
+		st.NetworkRequests, st.CacheHits, st.Revalidations)
+	fmt.Printf("cdn:    %d hits, %d misses, %d purges (hit rate %.0f%%)\n",
+		cs.Hits, cs.Misses, cs.Purges, 100*cs.HitRate())
+	fmt.Printf("server: %+v\n", srv.Stats())
+}

@@ -1,0 +1,115 @@
+// Realtime: query change-stream subscriptions (Section 3.2). Instead of
+// polling the EBF, an application can declare its critical data set as
+// queries and have Quaestor push every result change — the same InvaliDB
+// events that drive cache invalidation, delivered over SSE to browsers or
+// directly via the Go API shown here.
+//
+// The scenario: a live leaderboard ("top 3 players by score") kept in sync
+// while scores change, demonstrating add, changeIndex and remove events on
+// a sorted, limited query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/invalidb"
+	"quaestor/internal/query"
+	"quaestor/internal/server"
+	"quaestor/internal/store"
+)
+
+func main() {
+	db := store.Open(nil)
+	defer db.Close()
+	srv := server.New(db, nil)
+	defer srv.Close()
+	must(db.CreateTable("players"))
+
+	players := []struct {
+		id    string
+		score int
+	}{
+		{"ada", 120}, {"grace", 95}, {"alan", 80}, {"edsger", 60},
+	}
+	for _, p := range players {
+		must(db.Insert("players", document.New(p.id, map[string]any{"score": p.score})))
+	}
+
+	// The critical data set: top 3 by score.
+	top3 := query.New("players", query.Gt("score", 0)).
+		Sorted(query.Desc("score")).Sliced(0, 3)
+
+	// Local mirror maintained purely from push events.
+	var mu sync.Mutex
+	board := map[string]int{} // id -> position
+
+	sub, err := srv.Subscribe(top3)
+	must(err)
+	defer sub.Close()
+	go func() {
+		for n := range sub.Events() {
+			mu.Lock()
+			switch n.Type {
+			case invalidb.EventAdd, invalidb.EventChangeIndex, invalidb.EventChange:
+				board[n.Doc.ID] = n.Index
+			case invalidb.EventRemove:
+				delete(board, n.Doc.ID)
+			}
+			mu.Unlock()
+			fmt.Printf("  event: %-11s %-7s (position %d)\n", n.Type, n.Doc.ID, n.Index)
+		}
+	}()
+
+	// Seed the mirror with the initial result (a normal cached query).
+	res, err := srv.Query(top3)
+	must(err)
+	mu.Lock()
+	for i, id := range res.IDs {
+		board[id] = i
+	}
+	mu.Unlock()
+	printBoard("initial leaderboard", &mu, board)
+
+	fmt.Println("\nedsger scores 130 points...")
+	_, err = srv.Update("players", "edsger", store.UpdateSpec{Set: map[string]any{"score": 190}})
+	must(err)
+	srv.InvaliDB().Quiesce(5 * time.Second)
+	time.Sleep(30 * time.Millisecond)
+	printBoard("after edsger's surge", &mu, board)
+
+	fmt.Println("\nada retires (score reset to 0)...")
+	_, err = srv.Update("players", "ada", store.UpdateSpec{Set: map[string]any{"score": 0}})
+	must(err)
+	srv.InvaliDB().Quiesce(5 * time.Second)
+	time.Sleep(30 * time.Millisecond)
+	printBoard("after ada's retirement", &mu, board)
+}
+
+func printBoard(label string, mu *sync.Mutex, board map[string]int) {
+	mu.Lock()
+	defer mu.Unlock()
+	type row struct {
+		id  string
+		pos int
+	}
+	rows := make([]row, 0, len(board))
+	for id, pos := range board {
+		rows = append(rows, row{id, pos})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pos < rows[j].pos })
+	fmt.Printf("%s:\n", label)
+	for _, r := range rows {
+		fmt.Printf("  %d. %s\n", r.pos+1, r.id)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"quaestor/internal/cache"
+	"quaestor/internal/client"
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/server"
+	"quaestor/internal/store"
+	"quaestor/internal/workload"
+)
+
+// TestEndToEndOverTCP exercises the full production path over real
+// sockets: browser clients → CDN edge (in-process tier) → origin HTTP
+// server, with the EBF, InvaliDB and purge fan-out all live.
+func TestEndToEndOverTCP(t *testing.T) {
+	db := store.Open(nil)
+	defer db.Close()
+	srv := server.New(db, nil)
+	defer srv.Close()
+	if err := db.CreateTable("posts"); err != nil {
+		t.Fatal(err)
+	}
+
+	cdn := cache.NewHTTPTier("edge", cache.InvalidationBased, srv.Handler(), 0)
+	srv.AddPurger(server.PurgerFunc(func(path string) { cdn.Cache.Purge(path) }))
+	ts := httptest.NewServer(cdn)
+	defer ts.Close()
+
+	writer, err := client.Dial(&client.Options{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tag := "hot"
+		if i%2 == 1 {
+			tag = "cold"
+		}
+		err := writer.Insert("posts", document.New(fmt.Sprintf("p%02d", i), map[string]any{
+			"tags": []any{tag}, "n": i,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := query.New("posts", query.Contains("tags", "hot"))
+	reader, err := client.Dial(&client.Options{BaseURL: ts.URL, RefreshInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reader.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 10 {
+		t.Fatalf("query returned %d results", len(res.IDs))
+	}
+
+	// A write flips a cold post hot; within the reader's Δ the fresh
+	// result must appear.
+	if _, err := writer.Update("posts", "p01", store.UpdateSpec{
+		Set: map[string]any{"tags": []any{"hot"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.InvaliDB().Quiesce(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(60 * time.Millisecond) // let Δ elapse
+		res, err = reader.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) == 11 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Δ-bounded convergence failed: still %d results", len(res.IDs))
+		}
+	}
+}
+
+// TestEndToEndConcurrentWorkload runs a mixed YCSB-style workload from
+// several concurrent clients against one stack and checks system-level
+// invariants: no errors, bounded EBF, purge fan-out active, cache hits
+// actually happening.
+func TestEndToEndConcurrentWorkload(t *testing.T) {
+	db := store.Open(nil)
+	defer db.Close()
+	srv := server.New(db, nil)
+	defer srv.Close()
+
+	ds := workload.GenerateDataset(&workload.DatasetConfig{
+		Tables: 2, DocsPerTable: 300, QueriesPerTable: 15, Seed: 5,
+	})
+	for _, table := range ds.Tables {
+		if err := db.CreateTable(table); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds.Docs[table] {
+			if err := db.Insert(table, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cdn := cache.NewHTTPTier("edge", cache.InvalidationBased, srv.Handler(), 0)
+	srv.AddPurger(server.PurgerFunc(func(path string) { cdn.Cache.Purge(path) }))
+
+	const clients = 4
+	const opsPerClient = 150
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(&client.Options{
+				Transport:       client.NewHandlerTransport(cdn),
+				RefreshInterval: 100 * time.Millisecond,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			gen := workload.NewGenerator(ds, workload.Mix{Read: 0.45, Query: 0.45, Update: 0.10}, 0.9, int64(id))
+			for i := 0; i < opsPerClient; i++ {
+				op := gen.Next()
+				switch op.Type {
+				case workload.OpRead:
+					if _, err := c.Read(op.Table, op.DocID); err != nil {
+						errCh <- fmt.Errorf("read %s/%s: %w", op.Table, op.DocID, err)
+						return
+					}
+				case workload.OpQuery:
+					if _, err := c.Query(op.Query); err != nil {
+						errCh <- fmt.Errorf("query %s: %w", op.Query.Key(), err)
+						return
+					}
+				case workload.OpUpdate:
+					if _, err := c.Update(op.Table, op.DocID, store.UpdateSpec{
+						Set: map[string]any{"tags": []any{op.UpdateTag}},
+					}); err != nil {
+						errCh <- fmt.Errorf("update %s/%s: %w", op.Table, op.DocID, err)
+						return
+					}
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	srv.InvaliDB().Quiesce(10 * time.Second)
+	stats := srv.Stats()
+	if stats.Queries == 0 || stats.Reads == 0 || stats.Writes == 0 {
+		t.Errorf("workload did not exercise all op types: %+v", stats)
+	}
+	if stats.Invalidations == 0 {
+		t.Error("no invalidations detected despite updates to cached queries")
+	}
+	if cs := cdn.Cache.Stats(); cs.Hits == 0 {
+		t.Error("CDN saw no hits under a shared read-heavy workload")
+	}
+	if snap := srv.EBFSnapshot(); snap.Filter == nil {
+		t.Error("EBF snapshot unavailable")
+	}
+}

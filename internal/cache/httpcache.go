@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CachedResponse is the stored image of an upstream HTTP response.
+type CachedResponse struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// HTTPTier is a caching HTTP intermediary: a browser/ISP cache
+// (expiration-based) or a CDN edge / reverse proxy (invalidation-based).
+// Tiers chain via the Upstream handler, so a full path
+// client → browser cache → CDN → origin is three nested tiers.
+//
+// Semantics implemented:
+//
+//   - GET responses are cached according to Cache-Control: the freshness
+//     lifetime is s-maxage (shared caches) falling back to max-age;
+//     no-store disables caching for the response.
+//   - A request carrying Cache-Control: no-cache (a client revalidation)
+//     bypasses the fresh entry and is forwarded conditionally with
+//     If-None-Match; a 304 refreshes the stored entry in place.
+//   - The PURGE method removes an entry — only on invalidation-based tiers,
+//     mirroring CDN purge APIs. Expiration-based tiers answer 405.
+//   - UpstreamLatency simulates the network round-trip to the next tier and
+//     is slept once per forwarded request; cache hits skip it entirely.
+//     This is the substitution for real geographic RTTs (see DESIGN.md).
+type HTTPTier struct {
+	Name            string
+	Upstream        http.Handler
+	Cache           *Cache
+	UpstreamLatency time.Duration
+	// Sleep allows tests and simulations to replace time.Sleep.
+	Sleep func(time.Duration)
+	// Clock supplies time for Age computation (defaults to the cache's
+	// notion via entry timestamps; only used for headers).
+	Clock func() time.Time
+}
+
+// NewHTTPTier builds a tier of the given kind in front of upstream.
+func NewHTTPTier(name string, kind Kind, upstream http.Handler, upstreamLatency time.Duration) *HTTPTier {
+	return &HTTPTier{
+		Name:            name,
+		Upstream:        upstream,
+		Cache:           New(kind, 0, nil),
+		UpstreamLatency: upstreamLatency,
+		Sleep:           time.Sleep,
+		Clock:           time.Now,
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (t *HTTPTier) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case "PURGE":
+		t.servePurge(w, r)
+		return
+	case http.MethodGet, http.MethodHead:
+		t.serveGet(w, r)
+		return
+	default:
+		// Writes and everything else pass through uncached.
+		t.forward(w, r)
+		return
+	}
+}
+
+func cacheKey(r *http.Request) string { return r.URL.RequestURI() }
+
+func (t *HTTPTier) servePurge(w http.ResponseWriter, r *http.Request) {
+	if t.Cache.Kind() != InvalidationBased {
+		http.Error(w, "purge not supported by expiration-based cache", http.StatusMethodNotAllowed)
+		return
+	}
+	t.Cache.Purge(cacheKey(r))
+	// Propagate to further invalidation-based tiers downstream of us.
+	if t.Upstream != nil {
+		rec := newRecorder()
+		t.Upstream.ServeHTTP(rec, r)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (t *HTTPTier) serveGet(w http.ResponseWriter, r *http.Request) {
+	key := cacheKey(r)
+	revalidate := requestWantsRevalidation(r)
+
+	if !revalidate {
+		if entry, ok := t.Cache.Get(key); ok {
+			t.writeCached(w, entry, true)
+			return
+		}
+	}
+
+	// Miss or revalidation: forward upstream, conditionally if we hold a
+	// (possibly stale) body with an ETag.
+	var staleETag string
+	if stale, ok := t.Cache.GetStale(key); ok {
+		if cr, isResp := stale.Value.(*CachedResponse); isResp {
+			staleETag = cr.Header.Get("ETag")
+		}
+	}
+	up := r.Clone(r.Context())
+	if staleETag != "" && up.Header.Get("If-None-Match") == "" {
+		up.Header.Set("If-None-Match", staleETag)
+	}
+	rec := newRecorder()
+	if t.UpstreamLatency > 0 && t.Sleep != nil {
+		t.Sleep(t.UpstreamLatency)
+	}
+	if t.Upstream == nil {
+		http.Error(w, "no upstream", http.StatusBadGateway)
+		return
+	}
+	t.Upstream.ServeHTTP(rec, up)
+
+	if rec.status == http.StatusNotModified && staleETag != "" {
+		// Refresh the stored copy in place and serve it.
+		ttl := freshnessLifetime(rec.header, t.Cache.Kind())
+		if ttl > 0 {
+			t.Cache.Extend(key, ttl)
+		}
+		if entry, ok := t.Cache.GetStale(key); ok {
+			if r.Header.Get("If-None-Match") == staleETag {
+				// The client itself holds the same version.
+				copyCacheHeaders(w.Header(), rec.header)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			t.writeCached(w, entry, false)
+			return
+		}
+		if r.Header.Get("If-None-Match") != staleETag {
+			// The 304 answered OUR conditional header, but the stored body
+			// vanished (e.g. a concurrent purge) and the client cannot use
+			// a 304 it never asked for: re-fetch unconditionally.
+			up2 := r.Clone(r.Context())
+			up2.Header.Del("If-None-Match")
+			rec = newRecorder()
+			if t.UpstreamLatency > 0 && t.Sleep != nil {
+				t.Sleep(t.UpstreamLatency)
+			}
+			t.Upstream.ServeHTTP(rec, up2)
+		}
+	}
+
+	ttl := freshnessLifetime(rec.header, t.Cache.Kind())
+	if rec.status == http.StatusOK && ttl > 0 && r.Method == http.MethodGet {
+		t.Cache.Put(key, &CachedResponse{
+			Status: rec.status,
+			Header: rec.header.Clone(),
+			Body:   append([]byte(nil), rec.body.Bytes()...),
+		}, rec.header.Get("ETag"), ttl)
+	}
+	// Relay the upstream response verbatim.
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Cache", t.Name+": MISS")
+	w.WriteHeader(rec.status)
+	w.Write(rec.body.Bytes())
+}
+
+func (t *HTTPTier) forward(w http.ResponseWriter, r *http.Request) {
+	if t.UpstreamLatency > 0 && t.Sleep != nil {
+		t.Sleep(t.UpstreamLatency)
+	}
+	if t.Upstream == nil {
+		http.Error(w, "no upstream", http.StatusBadGateway)
+		return
+	}
+	t.Upstream.ServeHTTP(w, r)
+}
+
+func (t *HTTPTier) writeCached(w http.ResponseWriter, entry *Entry, hit bool) {
+	cr, ok := entry.Value.(*CachedResponse)
+	if !ok {
+		http.Error(w, "corrupt cache entry", http.StatusInternalServerError)
+		return
+	}
+	for k, vs := range cr.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	age := int(t.Clock().Sub(entry.StoredAt).Seconds())
+	if age < 0 {
+		age = 0
+	}
+	w.Header().Set("Age", strconv.Itoa(age))
+	if hit {
+		w.Header().Set("X-Cache", t.Name+": HIT")
+	} else {
+		w.Header().Set("X-Cache", t.Name+": REVALIDATED")
+	}
+	w.WriteHeader(cr.Status)
+	w.Write(cr.Body)
+}
+
+func copyCacheHeaders(dst, src http.Header) {
+	for _, h := range []string{"ETag", "Cache-Control", "Last-Modified"} {
+		if v := src.Get(h); v != "" {
+			dst.Set(h, v)
+		}
+	}
+}
+
+// requestWantsRevalidation reports whether the request explicitly bypasses
+// fresh cached copies (Cache-Control: no-cache or Pragma: no-cache) — the
+// mechanism Quaestor clients use when the EBF flags a key as stale.
+func requestWantsRevalidation(r *http.Request) bool {
+	cc := r.Header.Get("Cache-Control")
+	if cc != "" {
+		for _, d := range strings.Split(cc, ",") {
+			d = strings.TrimSpace(d)
+			if d == "no-cache" || d == "max-age=0" {
+				return true
+			}
+		}
+	}
+	return r.Header.Get("Pragma") == "no-cache"
+}
+
+// freshnessLifetime derives the TTL from Cache-Control. Shared
+// (invalidation-based) caches prefer s-maxage; private caches use max-age.
+// no-store (and, for shared caches, private) yields zero.
+func freshnessLifetime(h http.Header, kind Kind) time.Duration {
+	cc := h.Get("Cache-Control")
+	if cc == "" {
+		return 0
+	}
+	var maxAge, sMaxAge time.Duration
+	var hasMaxAge, hasSMaxAge bool
+	for _, d := range strings.Split(cc, ",") {
+		d = strings.TrimSpace(d)
+		switch {
+		case d == "no-store":
+			return 0
+		case d == "private" && kind == InvalidationBased:
+			return 0
+		case strings.HasPrefix(d, "max-age="):
+			if secs, err := strconv.Atoi(strings.TrimPrefix(d, "max-age=")); err == nil {
+				maxAge = time.Duration(secs) * time.Second
+				hasMaxAge = true
+			}
+		case strings.HasPrefix(d, "s-maxage="):
+			if secs, err := strconv.Atoi(strings.TrimPrefix(d, "s-maxage=")); err == nil {
+				sMaxAge = time.Duration(secs) * time.Second
+				hasSMaxAge = true
+			}
+		}
+	}
+	if kind == InvalidationBased && hasSMaxAge {
+		return sMaxAge
+	}
+	if hasMaxAge {
+		return maxAge
+	}
+	return 0
+}
+
+// recorder is a minimal in-process http.ResponseWriter capture.
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: http.Header{}}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) { r.status = status }
+
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+var _ http.ResponseWriter = (*recorder)(nil)
+var _ io.Writer = (*recorder)(nil)
+
+// FormatCacheControl renders a Cache-Control value for a response served
+// with the given TTLs. Zero sharedTTL omits s-maxage.
+func FormatCacheControl(ttl, sharedTTL time.Duration) string {
+	if ttl <= 0 && sharedTTL <= 0 {
+		return "no-store"
+	}
+	parts := []string{"public"}
+	if ttl > 0 {
+		parts = append(parts, fmt.Sprintf("max-age=%d", int(ttl.Seconds())))
+	}
+	if sharedTTL > 0 {
+		parts = append(parts, fmt.Sprintf("s-maxage=%d", int(sharedTTL.Seconds())))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,265 @@
+package cache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingOrigin serves a versioned resource with configurable headers.
+type countingOrigin struct {
+	hits    atomic.Int64
+	cc      string
+	etag    string
+	payload string
+}
+
+func (o *countingOrigin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	o.hits.Add(1)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == o.etag {
+		w.Header().Set("ETag", o.etag)
+		w.Header().Set("Cache-Control", o.cc)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Cache-Control", o.cc)
+	if o.etag != "" {
+		w.Header().Set("ETag", o.etag)
+	}
+	fmt.Fprint(w, o.payload)
+}
+
+func get(t *testing.T, h http.Handler, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestTierCachesAndServesHits(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60", payload: "hello"}
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 0)
+
+	r1 := get(t, tier, "/res", nil)
+	if r1.Body.String() != "hello" || !strings.Contains(r1.Header().Get("X-Cache"), "MISS") {
+		t.Fatalf("first fetch: %q %q", r1.Body.String(), r1.Header().Get("X-Cache"))
+	}
+	r2 := get(t, tier, "/res", nil)
+	if !strings.Contains(r2.Header().Get("X-Cache"), "HIT") {
+		t.Errorf("second fetch should hit: %q", r2.Header().Get("X-Cache"))
+	}
+	if r2.Body.String() != "hello" {
+		t.Errorf("cached body = %q", r2.Body.String())
+	}
+	if o := origin.hits.Load(); o != 1 {
+		t.Errorf("origin hits = %d, want 1", o)
+	}
+	if age := r2.Header().Get("Age"); age == "" {
+		t.Error("hit missing Age header")
+	}
+}
+
+func TestNoStoreNotCached(t *testing.T) {
+	origin := &countingOrigin{cc: "no-store", payload: "x"}
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 0)
+	get(t, tier, "/res", nil)
+	get(t, tier, "/res", nil)
+	if o := origin.hits.Load(); o != 2 {
+		t.Errorf("no-store resource was cached (origin hits = %d)", o)
+	}
+}
+
+func TestSharedCacheUsesSMaxAgeAndIgnoresPrivate(t *testing.T) {
+	// s-maxage=0 means uncacheable for the shared tier even with max-age.
+	origin := &countingOrigin{cc: "public, max-age=60, s-maxage=0", payload: "x"}
+	cdn := NewHTTPTier("cdn", InvalidationBased, origin, 0)
+	get(t, cdn, "/r", nil)
+	get(t, cdn, "/r", nil)
+	if origin.hits.Load() != 2 {
+		t.Error("shared cache must prefer s-maxage")
+	}
+	// A private response must not land in a shared cache...
+	origin2 := &countingOrigin{cc: "private, max-age=60", payload: "x"}
+	cdn2 := NewHTTPTier("cdn", InvalidationBased, origin2, 0)
+	get(t, cdn2, "/r", nil)
+	get(t, cdn2, "/r", nil)
+	if origin2.hits.Load() != 2 {
+		t.Error("private response cached in shared tier")
+	}
+	// ...but may land in a browser cache.
+	origin3 := &countingOrigin{cc: "private, max-age=60", payload: "x"}
+	browser := NewHTTPTier("browser", ExpirationBased, origin3, 0)
+	get(t, browser, "/r", nil)
+	get(t, browser, "/r", nil)
+	if origin3.hits.Load() != 1 {
+		t.Error("private response should cache in the browser tier")
+	}
+}
+
+func TestRevalidationWith304RefreshesEntry(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60", etag: `"v1"`, payload: "body1"}
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 0)
+	get(t, tier, "/r", nil) // fill
+
+	// A no-cache request bypasses the fresh copy; the origin answers 304
+	// and the tier serves its stored body.
+	r := get(t, tier, "/r", map[string]string{"Cache-Control": "no-cache"})
+	if r.Code != http.StatusOK || r.Body.String() != "body1" {
+		t.Fatalf("revalidated response = %d %q", r.Code, r.Body.String())
+	}
+	if !strings.Contains(r.Header().Get("X-Cache"), "REVALIDATED") {
+		t.Errorf("X-Cache = %q", r.Header().Get("X-Cache"))
+	}
+	if origin.hits.Load() != 2 {
+		t.Errorf("origin hits = %d", origin.hits.Load())
+	}
+}
+
+func TestClientConditionalRequestGets304(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60", etag: `"v1"`, payload: "body1"}
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 0)
+	get(t, tier, "/r", nil) // fill
+	r := get(t, tier, "/r", map[string]string{
+		"Cache-Control": "no-cache",
+		"If-None-Match": `"v1"`,
+	})
+	if r.Code != http.StatusNotModified {
+		t.Errorf("client with matching ETag should get 304, got %d", r.Code)
+	}
+}
+
+func TestPurgeMethod(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60", payload: "x"}
+	cdn := NewHTTPTier("cdn", InvalidationBased, origin, 0)
+	get(t, cdn, "/r", nil)
+
+	req := httptest.NewRequest("PURGE", "/r", nil)
+	rec := httptest.NewRecorder()
+	cdn.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("PURGE = %d", rec.Code)
+	}
+	get(t, cdn, "/r", nil)
+	if origin.hits.Load() != 3 { // miss, PURGE passthrough, miss again
+		t.Errorf("origin hits = %d", origin.hits.Load())
+	}
+
+	browser := NewHTTPTier("browser", ExpirationBased, origin, 0)
+	rec2 := httptest.NewRecorder()
+	browser.ServeHTTP(rec2, httptest.NewRequest("PURGE", "/r", nil))
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Errorf("expiration-based tier PURGE = %d, want 405", rec2.Code)
+	}
+}
+
+func TestWritesPassThroughUncached(t *testing.T) {
+	var sawPost atomic.Int64
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			sawPost.Add(1)
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 0)
+	req := httptest.NewRequest(http.MethodPost, "/r", strings.NewReader("{}"))
+	rec := httptest.NewRecorder()
+	tier.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated || sawPost.Load() != 1 {
+		t.Errorf("POST passthrough broken: %d %d", rec.Code, sawPost.Load())
+	}
+}
+
+func TestQueryStringIsPartOfKey(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60", payload: "x"}
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 0)
+	get(t, tier, "/r?q=1", nil)
+	get(t, tier, "/r?q=2", nil)
+	if origin.hits.Load() != 2 {
+		t.Error("different query strings must cache separately")
+	}
+	get(t, tier, "/r?q=1", nil)
+	if origin.hits.Load() != 2 {
+		t.Error("same query string should hit")
+	}
+}
+
+func TestUpstreamLatencySimulated(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60", payload: "x"}
+	var slept time.Duration
+	tier := NewHTTPTier("edge", InvalidationBased, origin, 25*time.Millisecond)
+	tier.Sleep = func(d time.Duration) { slept += d }
+	get(t, tier, "/r", nil) // miss: sleeps
+	get(t, tier, "/r", nil) // hit: no sleep
+	if slept != 25*time.Millisecond {
+		t.Errorf("slept %v, want exactly one upstream round-trip", slept)
+	}
+}
+
+func TestTierChainBrowserOverCDN(t *testing.T) {
+	origin := &countingOrigin{cc: "public, max-age=60, s-maxage=60", payload: "x"}
+	cdn := NewHTTPTier("cdn", InvalidationBased, origin, 0)
+	browser := NewHTTPTier("browser", ExpirationBased, cdn, 0)
+
+	get(t, browser, "/r", nil) // miss at both, fills both
+	if origin.hits.Load() != 1 {
+		t.Fatalf("origin hits = %d", origin.hits.Load())
+	}
+	get(t, browser, "/r", nil) // browser hit
+	if got := cdn.Cache.Stats().Hits; got != 0 {
+		t.Errorf("browser hit should not reach the CDN (cdn hits = %d)", got)
+	}
+	browser.Cache.Clear()
+	get(t, browser, "/r", nil) // browser miss -> CDN hit
+	if origin.hits.Load() != 1 {
+		t.Error("CDN should have absorbed the browser miss")
+	}
+}
+
+func TestFreshnessLifetimeParsing(t *testing.T) {
+	mk := func(cc string) http.Header {
+		h := http.Header{}
+		h.Set("Cache-Control", cc)
+		return h
+	}
+	cases := []struct {
+		cc   string
+		kind Kind
+		want time.Duration
+	}{
+		{"max-age=30", ExpirationBased, 30 * time.Second},
+		{"max-age=30, s-maxage=90", InvalidationBased, 90 * time.Second},
+		{"max-age=30, s-maxage=90", ExpirationBased, 30 * time.Second},
+		{"no-store, max-age=30", InvalidationBased, 0},
+		{"", ExpirationBased, 0},
+		{"public", ExpirationBased, 0},
+		{"max-age=oops", ExpirationBased, 0},
+	}
+	for _, tc := range cases {
+		if got := freshnessLifetime(mk(tc.cc), tc.kind); got != tc.want {
+			t.Errorf("freshnessLifetime(%q, %v) = %v, want %v", tc.cc, tc.kind, got, tc.want)
+		}
+	}
+	if freshnessLifetime(http.Header{}, ExpirationBased) != 0 {
+		t.Error("missing header should be uncacheable")
+	}
+}
+
+func TestFormatCacheControl(t *testing.T) {
+	if got := FormatCacheControl(0, 0); got != "no-store" {
+		t.Errorf("zero TTLs = %q", got)
+	}
+	if got := FormatCacheControl(30*time.Second, 90*time.Second); got != "public, max-age=30, s-maxage=90" {
+		t.Errorf("both TTLs = %q", got)
+	}
+	if got := FormatCacheControl(30*time.Second, 0); got != "public, max-age=30" {
+		t.Errorf("browser only = %q", got)
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// cacheOp is one step of a randomized cache workload.
+type cacheOp struct {
+	kind    int // 0 put, 1 get, 2 purge, 3 advance, 4 extend, 5 invalidate
+	key     int
+	ttlSecs int
+}
+
+// TestCachePropertyModelConformance drives the cache with random operation
+// sequences and compares every Get against a trivial reference model
+// (map + expiry timestamps). Run on an unbounded invalidation-based cache
+// so purge is exercised and LRU never interferes.
+func TestCachePropertyModelConformance(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			ops := make([]cacheOp, 200)
+			for i := range ops {
+				ops[i] = cacheOp{
+					kind:    r.Intn(6),
+					key:     r.Intn(8),
+					ttlSecs: 1 + r.Intn(20),
+				}
+			}
+			vs[0] = reflect.ValueOf(ops)
+		},
+	}
+	prop := func(ops []cacheOp) bool {
+		now := time.Unix(0, 0)
+		clock := func() time.Time { return now }
+		c := New(InvalidationBased, 0, clock)
+		type modelEntry struct {
+			value   any
+			expires time.Time
+		}
+		model := map[string]modelEntry{}
+
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.key)
+			ttl := time.Duration(op.ttlSecs) * time.Second
+			switch op.kind {
+			case 0:
+				c.Put(key, op.key, "", ttl)
+				model[key] = modelEntry{value: op.key, expires: now.Add(ttl)}
+			case 1:
+				got, ok := c.Get(key)
+				me, inModel := model[key]
+				fresh := inModel && now.Before(me.expires)
+				if ok != fresh {
+					return false
+				}
+				if ok && got.Value != me.value {
+					return false
+				}
+			case 2:
+				c.Purge(key)
+				delete(model, key)
+			case 3:
+				now = now.Add(time.Duration(op.ttlSecs) * time.Second / 2)
+			case 4:
+				extended := c.Extend(key, ttl)
+				if me, inModel := model[key]; inModel {
+					// The cache may have lazily evicted an expired entry on
+					// a previous Get; model mirrors only successful extends.
+					if extended {
+						me.expires = now.Add(ttl)
+						model[key] = me
+					} else {
+						delete(model, key)
+					}
+				}
+			case 5:
+				c.Invalidate(key)
+				delete(model, key)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUNeverExceedsCapacity is a quick property on the bounded cache.
+func TestLRUNeverExceedsCapacity(t *testing.T) {
+	prop := func(keys []uint8) bool {
+		c := New(ExpirationBased, 10, nil)
+		for _, k := range keys {
+			c.Put(fmt.Sprintf("k%d", k), k, "", time.Minute)
+			if c.Len() > 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,718 @@
+// Package client implements the Quaestor client SDK (Figure 3, "SDK (Data
+// API)"): the browser-side component that fetches the Expiring Bloom
+// Filter, checks every read and query against it, promotes stale reads to
+// revalidations, and layers session consistency guarantees (read-your-
+// writes, monotonic reads, causal and strong consistency on opt-in) on top
+// of plain HTTP caching.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"quaestor/internal/cache"
+	"quaestor/internal/document"
+	"quaestor/internal/ebf"
+	"quaestor/internal/query"
+	"quaestor/internal/server"
+	"quaestor/internal/store"
+	"quaestor/internal/ttl"
+)
+
+// Consistency selects the per-operation guarantee (Figure 4). Δ-atomicity,
+// monotonic reads/writes and read-your-writes always hold; causal and
+// strong consistency are opt-in with a performance penalty.
+type Consistency int
+
+const (
+	// DeltaAtomic is the default: staleness bounded by the EBF refresh
+	// interval.
+	DeltaAtomic Consistency = iota
+	// Causal additionally refreshes the EBF whenever a previously observed
+	// read is newer than the filter, so causally dependent reads are
+	// ordered.
+	Causal
+	// Strong turns the operation into an explicit revalidation (cache miss
+	// at all levels — linearizable).
+	Strong
+)
+
+// Options configures a client session.
+type Options struct {
+	// RefreshInterval is Δ: the maximum tolerated EBF age. The first
+	// request after Δ seconds refreshes the filter. Default 1s (the
+	// evaluation's "Bloom filters were refreshed every second").
+	RefreshInterval time.Duration
+	// CacheCapacity bounds the simulated browser cache entries (0 =
+	// unlimited).
+	CacheCapacity int
+	// Transport performs HTTP exchanges; defaults to http.DefaultTransport.
+	// Use NewHandlerTransport to wire an in-process tier chain.
+	Transport http.RoundTripper
+	// BaseURL prefixes request paths, e.g. "http://origin". With a handler
+	// transport any syntactically valid host works.
+	BaseURL string
+	// Clock supplies time (default time.Now).
+	Clock func() time.Time
+	// DisableEBF skips filter fetching and staleness checks entirely — the
+	// static-TTL straw man of Section 3 and the "CDN only" baseline client.
+	DisableEBF bool
+	// PerTableEBF fetches one filter per table (lazily, on first touch)
+	// instead of the aggregate, trading extra fetches for a lower false
+	// positive rate (Section 3.3).
+	PerTableEBF bool
+	// DisableCache bypasses the local browser cache (the uncached
+	// baseline).
+	DisableCache bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{
+		RefreshInterval: time.Second,
+		Transport:       http.DefaultTransport,
+		BaseURL:         "http://quaestor",
+		Clock:           time.Now,
+	}
+	if o == nil {
+		return out
+	}
+	cp := *o
+	if cp.RefreshInterval <= 0 {
+		cp.RefreshInterval = out.RefreshInterval
+	}
+	if cp.Transport == nil {
+		cp.Transport = out.Transport
+	}
+	if cp.BaseURL == "" {
+		cp.BaseURL = out.BaseURL
+	}
+	if cp.Clock == nil {
+		cp.Clock = out.Clock
+	}
+	return cp
+}
+
+// Stats counts client-side activity.
+type Stats struct {
+	Reads            uint64
+	Queries          uint64
+	Writes           uint64
+	CacheHits        uint64 // served from the local browser cache
+	NetworkRequests  uint64
+	Revalidations    uint64 // requests sent with no-cache due to the EBF
+	EBFRefreshes     uint64
+	NotModified      uint64 // 304 responses
+	MonotonicRetries uint64 // re-reads forced by monotonic-read tracking
+}
+
+// Client is one browser session against a Quaestor deployment.
+type Client struct {
+	opts  Options
+	http  *http.Client
+	local *cache.Cache // browser cache
+
+	mu          sync.Mutex
+	view        *ebf.ClientView               // aggregate-filter mode
+	tableViews  map[string]*ebf.ClientView    // per-table mode
+	ownWrites   map[string]*document.Document // read-your-writes buffer
+	highest     map[string]int64              // monotonic read versions
+	forcedReval map[string]struct{}           // keys whose next read must revalidate
+	lastRead    time.Time                     // newest read timestamp (causal)
+	stats       Stats
+}
+
+// Dial connects to a Quaestor deployment and fetches the initial EBF
+// ("Upon connection, the client gets a piggybacked EBF").
+func Dial(opts *Options) (*Client, error) {
+	o := opts.withDefaults()
+	c := &Client{
+		opts:      o,
+		http:      &http.Client{Transport: o.Transport},
+		local:     cache.New(cache.ExpirationBased, o.CacheCapacity, o.Clock),
+		ownWrites: map[string]*document.Document{},
+		highest:   map[string]int64{},
+	}
+	if o.PerTableEBF {
+		c.tableViews = map[string]*ebf.ClientView{}
+	} else if !o.DisableEBF {
+		if err := c.refreshEBF(); err != nil {
+			return nil, fmt.Errorf("client: initial EBF fetch: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// LocalCache exposes the browser cache (for harness instrumentation).
+func (c *Client) LocalCache() *cache.Cache { return c.local }
+
+// EBFAge returns the current filter age (the achieved Δ bound); zero when
+// the EBF is disabled.
+func (c *Client) EBFAge() time.Duration {
+	c.mu.Lock()
+	v := c.view
+	c.mu.Unlock()
+	if v == nil {
+		return 0
+	}
+	return v.Age(c.opts.Clock())
+}
+
+// refreshEBF fetches a fresh aggregate filter snapshot.
+func (c *Client) refreshEBF() error {
+	snap, err := c.fetchEBF("")
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.view == nil {
+		c.view = ebf.NewClientView(snap)
+	} else {
+		c.view.Refresh(snap)
+	}
+	c.stats.EBFRefreshes++
+	c.mu.Unlock()
+	return nil
+}
+
+// maybeRefreshEBF implements the freshness policy: the first operation
+// after Δ seconds refreshes the filter. Per-table views refresh lazily in
+// isStale instead.
+func (c *Client) maybeRefreshEBF() {
+	if c.opts.DisableEBF || c.opts.PerTableEBF {
+		return
+	}
+	c.mu.Lock()
+	v := c.view
+	c.mu.Unlock()
+	if v == nil || v.Age(c.opts.Clock()) >= c.opts.RefreshInterval {
+		_ = c.refreshEBF()
+	}
+}
+
+// isStale consults the EBF view responsible for the key.
+func (c *Client) isStale(key string) bool {
+	if c.opts.DisableEBF {
+		return false
+	}
+	if c.opts.PerTableEBF {
+		v := c.tableView(key)
+		return v != nil && v.IsStale(key)
+	}
+	c.mu.Lock()
+	v := c.view
+	c.mu.Unlock()
+	if v == nil {
+		return false
+	}
+	return v.IsStale(key)
+}
+
+func (c *Client) markRevalidated(key string) {
+	if c.opts.DisableEBF {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.PerTableEBF {
+		if v := c.tableViews[ebf.TableOf(key)]; v != nil {
+			v.MarkRevalidated(key)
+		}
+		return
+	}
+	if c.view != nil {
+		c.view.MarkRevalidated(key)
+	}
+}
+
+// do executes one HTTP exchange. revalidate adds Cache-Control: no-cache so
+// every intermediary bypasses (and refreshes) its cached copy.
+func (c *Client) do(method, path string, body []byte, revalidate bool) (*http.Response, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.opts.BaseURL+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if revalidate {
+		req.Header.Set("Cache-Control", "no-cache")
+	}
+	c.mu.Lock()
+	c.stats.NetworkRequests++
+	if revalidate {
+		c.stats.Revalidations++
+	}
+	c.mu.Unlock()
+	return c.http.Do(req)
+}
+
+// ReadOptions tunes one read.
+type ReadOptions struct {
+	Consistency Consistency
+}
+
+// Read fetches a record with the session's consistency guarantees.
+func (c *Client) Read(table, id string) (*document.Document, error) {
+	return c.ReadWith(table, id, ReadOptions{})
+}
+
+// ReadWith fetches a record with per-operation consistency.
+func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Document, error) {
+	c.mu.Lock()
+	c.stats.Reads++
+	c.mu.Unlock()
+	c.applyConsistencyPre(opts.Consistency)
+	c.maybeRefreshEBF()
+
+	key := server.RecordKey(table, id)
+	path := server.RecordPath(table, id)
+
+	// Read-your-writes: our own writes short-circuit everything.
+	if opts.Consistency != Strong {
+		c.mu.Lock()
+		if own, ok := c.ownWrites[key]; ok {
+			c.mu.Unlock()
+			return own.Clone(), nil
+		}
+		c.mu.Unlock()
+	}
+
+	revalidate := opts.Consistency == Strong || c.isStale(key) || c.consumeForcedRevalidation(key)
+	if !revalidate && !c.opts.DisableCache {
+		if entry, ok := c.local.Get(path); ok {
+			doc := entry.Value.(*document.Document)
+			if c.monotonicOK(key, doc.Version) {
+				c.mu.Lock()
+				c.stats.CacheHits++
+				c.mu.Unlock()
+				c.observeRead(key, doc.Version)
+				return doc.Clone(), nil
+			}
+		}
+	}
+
+	doc, cacheTTL, err := c.fetchRecord(path, revalidate)
+	if err != nil {
+		return nil, err
+	}
+	if revalidate {
+		c.markRevalidated(key)
+	}
+	// Monotonic reads: a cache tier may have answered with an older
+	// version than this session has already seen; fall back to the newer
+	// local copy or force a revalidation ("if a read returns an older
+	// version, the client resorts to the cached version if it is not
+	// contained in the EBF or triggers a revalidation otherwise").
+	if !c.monotonicOK(key, doc.Version) {
+		c.mu.Lock()
+		c.stats.MonotonicRetries++
+		c.mu.Unlock()
+		if entry, ok := c.local.GetStale(path); ok && !c.isStale(key) {
+			cached := entry.Value.(*document.Document)
+			if cached.Version >= c.highestSeen(key) {
+				return cached.Clone(), nil
+			}
+		}
+		doc, cacheTTL, err = c.fetchRecord(path, true)
+		if err != nil {
+			return nil, err
+		}
+		c.markRevalidated(key)
+	}
+	if !c.opts.DisableCache && cacheTTL > 0 {
+		c.local.Put(path, doc.Clone(), etag(doc.Version), cacheTTL)
+	}
+	c.observeRead(key, doc.Version)
+	return doc, nil
+}
+
+func etag(version int64) string { return fmt.Sprintf("\"v%d\"", version) }
+
+func (c *Client) fetchRecord(path string, revalidate bool) (*document.Document, time.Duration, error) {
+	resp, err := c.do(http.MethodGet, path, nil, revalidate)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		c.mu.Lock()
+		c.stats.NotModified++
+		c.mu.Unlock()
+		if entry, ok := c.local.GetStale(path); ok {
+			d := entry.Value.(*document.Document)
+			return d.Clone(), maxAge(resp.Header), nil
+		}
+		return nil, 0, errors.New("client: 304 without cached copy")
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeError(resp)
+	}
+	var doc document.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, 0, err
+	}
+	return &doc, maxAge(resp.Header), nil
+}
+
+func (c *Client) highestSeen(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.highest[key]
+}
+
+func (c *Client) monotonicOK(key string, version int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return version >= c.highest[key]
+}
+
+func (c *Client) observeRead(key string, version int64) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version > c.highest[key] {
+		c.highest[key] = version
+	}
+	if now.After(c.lastRead) {
+		c.lastRead = now
+	}
+}
+
+// applyConsistencyPre enforces causal consistency: when the session has
+// observed a read newer than the EBF, later reads could violate causality —
+// refresh the filter first (the paper's option 1).
+func (c *Client) applyConsistencyPre(level Consistency) {
+	if level != Causal || c.opts.DisableEBF {
+		return
+	}
+	c.mu.Lock()
+	v := c.view
+	last := c.lastRead
+	c.mu.Unlock()
+	if v != nil && last.After(v.GeneratedAt()) {
+		_ = c.refreshEBF()
+	}
+}
+
+// Result is a query response assembled by the SDK.
+type Result struct {
+	Docs           []*document.Document
+	IDs            []string
+	Representation ttl.Representation
+	// RoundTrips counts HTTP exchanges used to assemble the result
+	// (id-lists may need per-record fetches).
+	RoundTrips int
+}
+
+// Query executes a query with default consistency.
+func (c *Client) Query(q *query.Query) (*Result, error) {
+	return c.QueryWith(q, ReadOptions{})
+}
+
+// QueryPath renders the deterministic REST path for a query; identical
+// queries from any client map to the same cache entry.
+func QueryPath(q *query.Query) string {
+	params := url.Values{}
+	if filterJSON := predicateJSON(q.Predicate); filterJSON != "" {
+		params.Set("q", filterJSON)
+	}
+	if len(q.OrderBy) > 0 {
+		var parts []string
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				parts = append(parts, "-"+k.Path)
+			} else {
+				parts = append(parts, k.Path)
+			}
+		}
+		params.Set("sort", strings.Join(parts, ","))
+	}
+	if q.Offset > 0 {
+		params.Set("offset", strconv.Itoa(q.Offset))
+	}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/v1/db/" + q.Table
+	if enc := params.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	return path
+}
+
+// QueryWith executes a query with per-operation consistency. Object-list
+// results return documents directly; id-list results are assembled by
+// reading each record (which populates per-record cache entries).
+func (c *Client) QueryWith(q *query.Query, opts ReadOptions) (*Result, error) {
+	c.mu.Lock()
+	c.stats.Queries++
+	c.mu.Unlock()
+	c.applyConsistencyPre(opts.Consistency)
+	c.maybeRefreshEBF()
+
+	key := q.Key()
+	path := QueryPath(q)
+	revalidate := opts.Consistency == Strong || c.isStale(key)
+
+	if !revalidate && !c.opts.DisableCache {
+		if entry, ok := c.local.Get(path); ok {
+			cached := entry.Value.(*Result)
+			c.mu.Lock()
+			c.stats.CacheHits++
+			c.mu.Unlock()
+			return cloneResult(cached), nil
+		}
+	}
+
+	resp, err := c.do(http.MethodGet, path, nil, revalidate)
+	if err != nil {
+		return nil, err
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil {
+		return nil, readErr
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		c.mu.Lock()
+		c.stats.NotModified++
+		c.mu.Unlock()
+		if entry, ok := c.local.GetStale(path); ok {
+			if revalidate {
+				c.markRevalidated(key)
+			}
+			return cloneResult(entry.Value.(*Result)), nil
+		}
+		return nil, errors.New("client: 304 without cached query result")
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErrorBytes(resp.StatusCode, body)
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		return nil, err
+	}
+	if revalidate {
+		c.markRevalidated(key)
+	}
+
+	res := &Result{IDs: qr.IDs, RoundTrips: 1}
+	if qr.Representation == ttl.IDList.String() {
+		res.Representation = ttl.IDList
+		for _, id := range qr.IDs {
+			doc, rerr := c.ReadWith(q.Table, id, opts)
+			if rerr != nil {
+				return nil, fmt.Errorf("client: assembling id-list member %s: %w", id, rerr)
+			}
+			res.Docs = append(res.Docs, doc)
+			res.RoundTrips++
+		}
+	} else {
+		res.Representation = ttl.ObjectList
+		res.Docs = qr.Docs
+		for _, d := range qr.Docs {
+			c.observeRead(server.RecordKey(q.Table, d.ID), d.Version)
+			// Result members become individual browser-cache entries,
+			// giving record reads hits "by side effect".
+			if !c.opts.DisableCache {
+				if age := maxAge(resp.Header); age > 0 {
+					c.local.Put(server.RecordPath(q.Table, d.ID), d.Clone(), etag(d.Version), age)
+				}
+			}
+		}
+	}
+	if !c.opts.DisableCache {
+		if age := maxAge(resp.Header); age > 0 {
+			c.local.Put(path, cloneResult(res), resp.Header.Get("ETag"), age)
+		}
+	}
+	return res, nil
+}
+
+func cloneResult(r *Result) *Result {
+	cp := &Result{
+		IDs:            append([]string(nil), r.IDs...),
+		Representation: r.Representation,
+		RoundTrips:     r.RoundTrips,
+	}
+	for _, d := range r.Docs {
+		cp.Docs = append(cp.Docs, d.Clone())
+	}
+	return cp
+}
+
+// Insert creates a record; the write is buffered for read-your-writes.
+func (c *Client) Insert(table string, doc *document.Document) error {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, "/v1/db/"+table, body, false)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return decodeError(resp)
+	}
+	c.recordOwnWrite(table, doc)
+	return nil
+}
+
+// Put upserts a record.
+func (c *Client) Put(table string, doc *document.Document) error {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPut, server.RecordPath(table, doc.ID), body, false)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	c.recordOwnWrite(table, doc)
+	return nil
+}
+
+// Update applies a partial update, returning the server's after-image.
+func (c *Client) Update(table, id string, spec store.UpdateSpec) (*document.Document, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(http.MethodPatch, server.RecordPath(table, id), body, false)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var doc document.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	c.recordOwnWrite(table, &doc)
+	return &doc, nil
+}
+
+// Delete removes a record.
+func (c *Client) Delete(table, id string) error {
+	resp, err := c.do(http.MethodDelete, server.RecordPath(table, id), nil, false)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeError(resp)
+	}
+	key := server.RecordKey(table, id)
+	c.mu.Lock()
+	delete(c.ownWrites, key)
+	c.stats.Writes++
+	c.mu.Unlock()
+	c.local.Invalidate(server.RecordPath(table, id))
+	return nil
+}
+
+// recordOwnWrite maintains read-your-writes and evicts the record from the
+// browser cache ("every time a client begins an update operation it
+// invalidates the corresponding record from its own cache").
+func (c *Client) recordOwnWrite(table string, doc *document.Document) {
+	key := server.RecordKey(table, doc.ID)
+	now := c.opts.Clock()
+	c.mu.Lock()
+	c.ownWrites[key] = doc.Clone()
+	c.stats.Writes++
+	// A write advances the session's causal frontier just like a read: a
+	// later causal-consistency operation must not consult an EBF older
+	// than it.
+	if now.After(c.lastRead) {
+		c.lastRead = now
+	}
+	c.mu.Unlock()
+	c.local.Invalidate(server.RecordPath(table, doc.ID))
+}
+
+// CreateTable provisions a table.
+func (c *Client) CreateTable(table string) error {
+	resp, err := c.do(http.MethodPost, "/v1/tables/"+table, nil, false)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(resp.Body)
+	return decodeErrorBytes(resp.StatusCode, body)
+}
+
+func decodeErrorBytes(status int, body []byte) error {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &payload); err == nil && payload.Error != "" {
+		return fmt.Errorf("client: server returned %d: %s", status, payload.Error)
+	}
+	return fmt.Errorf("client: server returned %d", status)
+}
+
+// maxAge extracts the browser-usable freshness lifetime from Cache-Control.
+func maxAge(h http.Header) time.Duration {
+	cc := h.Get("Cache-Control")
+	if cc == "" {
+		return 0
+	}
+	for _, d := range strings.Split(cc, ",") {
+		d = strings.TrimSpace(d)
+		if d == "no-store" {
+			return 0
+		}
+		if strings.HasPrefix(d, "max-age=") {
+			if secs, err := strconv.Atoi(strings.TrimPrefix(d, "max-age=")); err == nil {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return 0
+}
+
+// predicateJSON renders a Predicate back into filter-document JSON for URL
+// construction. Only predicates built via query builders and ParseFilter
+// round-trip; the zero predicate renders empty.
+func predicateJSON(p query.Predicate) string {
+	m := query.FilterDocument(p)
+	if m == nil {
+		return ""
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}

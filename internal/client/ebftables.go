@@ -1,0 +1,95 @@
+package client
+
+import (
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"quaestor/internal/bloom"
+	"quaestor/internal/ebf"
+	"quaestor/internal/server"
+)
+
+// This file implements per-table EBF consumption (Section 3.3): "clients
+// can also exploit the table-specific EBFs to decrease the total false
+// positive rate at the expense of loading more individual EBFs". In
+// per-table mode the client lazily fetches one filter per table it touches
+// and refreshes each independently under the same Δ.
+
+// fetchEBF retrieves a filter snapshot; table == "" means the aggregate.
+// Gzip transfer encoding is negotiated explicitly, as the sparse filter
+// compresses well.
+func (c *Client) fetchEBF(table string) (ebf.Snapshot, error) {
+	path := "/v1/ebf"
+	if table != "" {
+		path += "?table=" + table
+	}
+	req, err := http.NewRequest(http.MethodGet, c.opts.BaseURL+path, nil)
+	if err != nil {
+		return ebf.Snapshot{}, err
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	c.mu.Lock()
+	c.stats.NetworkRequests++
+	c.mu.Unlock()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return ebf.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ebf.Snapshot{}, fmt.Errorf("client: EBF endpoint returned %s", resp.Status)
+	}
+	var rdr io.Reader = resp.Body
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return ebf.Snapshot{}, err
+		}
+		defer gz.Close()
+		rdr = gz
+	}
+	var body server.EBFResponse
+	if err := json.NewDecoder(rdr).Decode(&body); err != nil {
+		return ebf.Snapshot{}, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(body.Filter)
+	if err != nil {
+		return ebf.Snapshot{}, err
+	}
+	f, err := bloom.Unmarshal(raw)
+	if err != nil {
+		return ebf.Snapshot{}, err
+	}
+	return ebf.Snapshot{Filter: f, GeneratedAt: time.Unix(0, body.GeneratedAt), Entries: body.Entries}, nil
+}
+
+// tableView returns (lazily creating and refreshing) the per-table filter
+// view for a key's table.
+func (c *Client) tableView(key string) *ebf.ClientView {
+	table := ebf.TableOf(key)
+	c.mu.Lock()
+	v := c.tableViews[table]
+	c.mu.Unlock()
+	if v != nil && v.Age(c.opts.Clock()) < c.opts.RefreshInterval {
+		return v
+	}
+	snap, err := c.fetchEBF(table)
+	if err != nil {
+		return v // keep serving the stale view rather than failing reads
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v == nil {
+		v = ebf.NewClientView(snap)
+		c.tableViews[table] = v
+	} else {
+		v.Refresh(snap)
+	}
+	c.stats.EBFRefreshes++
+	return v
+}

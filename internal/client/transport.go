@@ -1,0 +1,59 @@
+package client
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// HandlerTransport adapts an http.Handler into an http.RoundTripper so a
+// client can talk to an in-process tier chain
+// (browser → CDN tier → origin handler) without sockets. The evaluation
+// harness and examples use it to assemble full caching topologies in one
+// process while the production binary serves the same handlers over TCP.
+type HandlerTransport struct {
+	Handler http.Handler
+}
+
+// NewHandlerTransport wraps h.
+func NewHandlerTransport(h http.Handler) *HandlerTransport {
+	return &HandlerTransport{Handler: h}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &captureWriter{header: http.Header{}, status: http.StatusOK}
+	t.Handler.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.status),
+		StatusCode:    rec.status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+type captureWriter struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+	wrote  bool
+}
+
+func (w *captureWriter) Header() http.Header { return w.header }
+
+func (w *captureWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+}
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.body.Write(p)
+}

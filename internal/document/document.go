@@ -1,0 +1,490 @@
+// Package document implements the value model for Quaestor's
+// aggregate-oriented document store.
+//
+// Documents are rich nested records — the paper's "after-images" — modelled
+// as JSON-like trees: maps, arrays, strings, numbers, booleans and null.
+// The package provides deep copy, deep equality, a total ordering used by
+// sorted queries, dotted field-path access, and a canonical encoding that
+// query normalization and cache keys rely on.
+package document
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Document is a single database record. The zero value is an empty document.
+//
+// Field values may be: nil, bool, int64, float64, string, []any and
+// map[string]any (arbitrarily nested). Use Normalize to coerce arbitrary
+// numeric types (int, float32, json.Number, ...) into this canonical set.
+type Document struct {
+	// ID is the primary key, unique within a table.
+	ID string
+	// Version is a monotonically increasing per-record version counter,
+	// used for ETags and monotonic-read tracking.
+	Version int64
+	// Fields holds the document body.
+	Fields map[string]any
+}
+
+// New returns a document with the given id and a normalized copy of fields.
+func New(id string, fields map[string]any) *Document {
+	return &Document{ID: id, Version: 1, Fields: normalizeMap(fields)}
+}
+
+// Clone returns a deep copy of the document. Mutating the clone never
+// affects the original; this is what makes after-images safe to hand to
+// the invalidation pipeline concurrently with subsequent writes.
+func (d *Document) Clone() *Document {
+	if d == nil {
+		return nil
+	}
+	return &Document{ID: d.ID, Version: d.Version, Fields: CloneValue(d.Fields).(map[string]any)}
+}
+
+// Get returns the value at a dotted field path ("author.name",
+// "comments.0.text"). The boolean reports whether the path exists.
+func (d *Document) Get(path string) (any, bool) {
+	if d == nil {
+		return nil, false
+	}
+	return GetPath(d.Fields, path)
+}
+
+// Set assigns a value at a dotted field path, creating intermediate maps as
+// needed. It returns an error when the path traverses a non-container value.
+func (d *Document) Set(path string, value any) error {
+	if d.Fields == nil {
+		d.Fields = map[string]any{}
+	}
+	return SetPath(d.Fields, path, Normalize(value))
+}
+
+// Delete removes the value at a dotted field path. Missing paths are no-ops.
+func (d *Document) Delete(path string) {
+	DeletePath(d.Fields, path)
+}
+
+// Equal reports whether two documents have the same id and deeply equal
+// fields. Versions are ignored: equality is about content.
+func (d *Document) Equal(other *Document) bool {
+	if d == nil || other == nil {
+		return d == other
+	}
+	return d.ID == other.ID && DeepEqual(d.Fields, other.Fields)
+}
+
+// MarshalJSON encodes the document in its wire representation.
+func (d *Document) MarshalJSON() ([]byte, error) {
+	body := make(map[string]any, len(d.Fields)+2)
+	for k, v := range d.Fields {
+		body[k] = v
+	}
+	body["_id"] = d.ID
+	body["_version"] = d.Version
+	return json.Marshal(body)
+}
+
+// UnmarshalJSON decodes the wire representation produced by MarshalJSON.
+func (d *Document) UnmarshalJSON(data []byte) error {
+	var body map[string]any
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&body); err != nil {
+		return err
+	}
+	if id, ok := body["_id"].(string); ok {
+		d.ID = id
+	}
+	if v, ok := body["_version"]; ok {
+		switch n := v.(type) {
+		case json.Number:
+			iv, err := n.Int64()
+			if err != nil {
+				return fmt.Errorf("document: bad _version %q", n.String())
+			}
+			d.Version = iv
+		case float64:
+			d.Version = int64(n)
+		}
+	}
+	delete(body, "_id")
+	delete(body, "_version")
+	d.Fields = normalizeMap(body)
+	return nil
+}
+
+// Normalize coerces a value into the canonical type set:
+// nil, bool, int64, float64, string, []any, map[string]any.
+func Normalize(v any) any {
+	switch t := v.(type) {
+	case nil, bool, int64, float64, string:
+		return t
+	case int:
+		return int64(t)
+	case int8:
+		return int64(t)
+	case int16:
+		return int64(t)
+	case int32:
+		return int64(t)
+	case uint:
+		return int64(t)
+	case uint8:
+		return int64(t)
+	case uint16:
+		return int64(t)
+	case uint32:
+		return int64(t)
+	case uint64:
+		return int64(t)
+	case float32:
+		return float64(t)
+	case json.Number:
+		if iv, err := t.Int64(); err == nil {
+			return iv
+		}
+		fv, _ := t.Float64()
+		return fv
+	case []string:
+		out := make([]any, len(t))
+		for i, s := range t {
+			out[i] = s
+		}
+		return out
+	case []int:
+		out := make([]any, len(t))
+		for i, n := range t {
+			out[i] = int64(n)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = Normalize(e)
+		}
+		return out
+	case map[string]any:
+		return normalizeMap(t)
+	default:
+		// Fall back to the string representation so unexpected types do
+		// not silently break equality; this should not happen in practice.
+		return fmt.Sprintf("%v", t)
+	}
+}
+
+func normalizeMap(m map[string]any) map[string]any {
+	if m == nil {
+		return map[string]any{}
+	}
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = Normalize(v)
+	}
+	return out
+}
+
+// CloneValue deep-copies any canonical value.
+func CloneValue(v any) any {
+	switch t := v.(type) {
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = CloneValue(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = CloneValue(e)
+		}
+		return out
+	default:
+		return t
+	}
+}
+
+// DeepEqual reports deep equality of two canonical values. Numeric values
+// compare across int64/float64 (1 == 1.0), matching MongoDB semantics.
+func DeepEqual(a, b any) bool {
+	return Compare(a, b) == 0
+}
+
+// typeRank assigns a BSON-like total order across types so heterogeneous
+// values sort deterministically: null < numbers < strings < maps < arrays < bools.
+func typeRank(v any) int {
+	switch v.(type) {
+	case nil:
+		return 0
+	case int64, float64:
+		return 1
+	case string:
+		return 2
+	case map[string]any:
+		return 3
+	case []any:
+		return 4
+	case bool:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// Compare imposes a total order on canonical values: -1 if a < b, 0 if
+// equal, +1 if a > b. Numbers compare numerically across integer/float.
+func Compare(a, b any) int {
+	ra, rb := typeRank(a), typeRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch av := a.(type) {
+	case nil:
+		return 0
+	case int64:
+		return compareNumbers(float64(av), toFloat(b))
+	case float64:
+		return compareNumbers(av, toFloat(b))
+	case string:
+		return strings.Compare(av, b.(string))
+	case bool:
+		bv := b.(bool)
+		switch {
+		case av == bv:
+			return 0
+		case !av:
+			return -1
+		default:
+			return 1
+		}
+	case []any:
+		bv := b.([]any)
+		for i := 0; i < len(av) && i < len(bv); i++ {
+			if c := Compare(av[i], bv[i]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(av) == len(bv):
+			return 0
+		case len(av) < len(bv):
+			return -1
+		default:
+			return 1
+		}
+	case map[string]any:
+		bv := b.(map[string]any)
+		ka, kb := sortedKeys(av), sortedKeys(bv)
+		for i := 0; i < len(ka) && i < len(kb); i++ {
+			if c := strings.Compare(ka[i], kb[i]); c != 0 {
+				return c
+			}
+			if c := Compare(av[ka[i]], bv[kb[i]]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(ka) == len(kb):
+			return 0
+		case len(ka) < len(kb):
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+func compareNumbers(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func toFloat(v any) float64 {
+	switch t := v.(type) {
+	case int64:
+		return float64(t)
+	case float64:
+		return t
+	default:
+		return 0
+	}
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GetPath resolves a dotted path against a canonical value tree. Numeric
+// path segments index into arrays.
+func GetPath(root any, path string) (any, bool) {
+	if path == "" {
+		return root, true
+	}
+	cur := root
+	for _, seg := range strings.Split(path, ".") {
+		switch node := cur.(type) {
+		case map[string]any:
+			v, ok := node[seg]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case []any:
+			idx, err := strconv.Atoi(seg)
+			if err != nil || idx < 0 || idx >= len(node) {
+				return nil, false
+			}
+			cur = node[idx]
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// SetPath assigns value at a dotted path inside root, creating intermediate
+// maps as required. Array segments must already exist and be in range.
+func SetPath(root map[string]any, path string, value any) error {
+	segs := strings.Split(path, ".")
+	var cur any = root
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		switch node := cur.(type) {
+		case map[string]any:
+			if last {
+				node[seg] = value
+				return nil
+			}
+			next, ok := node[seg]
+			if !ok {
+				m := map[string]any{}
+				node[seg] = m
+				cur = m
+				continue
+			}
+			cur = next
+		case []any:
+			idx, err := strconv.Atoi(seg)
+			if err != nil || idx < 0 || idx >= len(node) {
+				return fmt.Errorf("document: bad array index %q in path %q", seg, path)
+			}
+			if last {
+				node[idx] = value
+				return nil
+			}
+			cur = node[idx]
+		default:
+			return fmt.Errorf("document: path %q traverses non-container at %q", path, seg)
+		}
+	}
+	return nil
+}
+
+// DeletePath removes the value at a dotted path. Missing paths are no-ops.
+func DeletePath(root map[string]any, path string) {
+	segs := strings.Split(path, ".")
+	var cur any = root
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		switch node := cur.(type) {
+		case map[string]any:
+			if last {
+				delete(node, seg)
+				return
+			}
+			next, ok := node[seg]
+			if !ok {
+				return
+			}
+			cur = next
+		case []any:
+			idx, err := strconv.Atoi(seg)
+			if err != nil || idx < 0 || idx >= len(node) {
+				return
+			}
+			if last {
+				node[idx] = nil
+				return
+			}
+			cur = node[idx]
+		default:
+			return
+		}
+	}
+}
+
+// Canonical returns a deterministic string encoding of a canonical value:
+// map keys are sorted, numbers print minimally. Two deeply equal values
+// always produce identical canonical strings, which makes this suitable for
+// cache keys and Bloom filter keys.
+func Canonical(v any) string {
+	var sb strings.Builder
+	writeCanonical(&sb, v)
+	return sb.String()
+}
+
+func writeCanonical(sb *strings.Builder, v any) {
+	switch t := v.(type) {
+	case nil:
+		sb.WriteString("null")
+	case bool:
+		if t {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case int64:
+		sb.WriteString(strconv.FormatInt(t, 10))
+	case float64:
+		if t == float64(int64(t)) {
+			// Integral floats print like integers so 1.0 and 1 share a key.
+			sb.WriteString(strconv.FormatInt(int64(t), 10))
+		} else {
+			sb.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		}
+	case string:
+		sb.WriteString(strconv.Quote(t))
+	case []any:
+		sb.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeCanonical(sb, e)
+		}
+		sb.WriteByte(']')
+	case map[string]any:
+		sb.WriteByte('{')
+		for i, k := range sortedKeys(t) {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Quote(k))
+			sb.WriteByte(':')
+			writeCanonical(sb, t[k])
+		}
+		sb.WriteByte('}')
+	default:
+		fmt.Fprintf(sb, "%v", t)
+	}
+}

@@ -1,0 +1,276 @@
+package document
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizesFields(t *testing.T) {
+	d := New("a", map[string]any{
+		"i":   7,
+		"f32": float32(1.5),
+		"u":   uint16(9),
+		"s":   []string{"x", "y"},
+		"n":   []int{1, 2},
+	})
+	if v, _ := d.Get("i"); v != int64(7) {
+		t.Errorf("int not normalized to int64: %T %v", v, v)
+	}
+	if v, _ := d.Get("f32"); v != float64(1.5) {
+		t.Errorf("float32 not normalized: %T", v)
+	}
+	if v, _ := d.Get("u"); v != int64(9) {
+		t.Errorf("uint16 not normalized: %T", v)
+	}
+	if v, _ := d.Get("s.1"); v != "y" {
+		t.Errorf("string slice not normalized: %v", v)
+	}
+	if v, _ := d.Get("n.0"); v != int64(1) {
+		t.Errorf("int slice not normalized: %v", v)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New("a", map[string]any{"nested": map[string]any{"list": []any{int64(1)}}})
+	c := d.Clone()
+	if err := c.Set("nested.list.0", int64(99)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Get("nested.list.0"); v != int64(1) {
+		t.Errorf("mutating clone affected original: %v", v)
+	}
+	if v, _ := c.Get("nested.list.0"); v != int64(99) {
+		t.Errorf("clone not updated: %v", v)
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var d *Document
+	if d.Clone() != nil {
+		t.Error("nil document clone should be nil")
+	}
+}
+
+func TestGetSetDeletePaths(t *testing.T) {
+	d := New("a", nil)
+	if err := d.Set("author.name", "Kim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("author.age", 30); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Get("author.name"); !ok || v != "Kim" {
+		t.Errorf("Get author.name = %v, %v", v, ok)
+	}
+	if _, ok := d.Get("author.missing"); ok {
+		t.Error("missing path reported present")
+	}
+	if _, ok := d.Get("author.name.too.deep"); ok {
+		t.Error("path through scalar reported present")
+	}
+	d.Delete("author.age")
+	if _, ok := d.Get("author.age"); ok {
+		t.Error("deleted path still present")
+	}
+	d.Delete("no.such.path") // must not panic
+}
+
+func TestSetIntoArray(t *testing.T) {
+	d := New("a", map[string]any{"tags": []any{"x", "y"}})
+	if err := d.Set("tags.1", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Get("tags.1"); v != "z" {
+		t.Errorf("array set failed: %v", v)
+	}
+	if err := d.Set("tags.9", "w"); err == nil {
+		t.Error("out-of-range array set should error")
+	}
+	if err := d.Set("tags.nope", "w"); err == nil {
+		t.Error("non-numeric array index should error")
+	}
+}
+
+func TestEqualIgnoresVersion(t *testing.T) {
+	a := New("x", map[string]any{"v": 1})
+	b := New("x", map[string]any{"v": 1})
+	b.Version = 42
+	if !a.Equal(b) {
+		t.Error("equality should ignore versions")
+	}
+	c := New("y", map[string]any{"v": 1})
+	if a.Equal(c) {
+		t.Error("different ids must not be equal")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := New("doc1", map[string]any{
+		"title":  "hi",
+		"rating": 42,
+		"nested": map[string]any{"deep": []any{int64(1), "two", 3.5}},
+	})
+	d.Version = 7
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "doc1" || back.Version != 7 {
+		t.Errorf("identity lost: %q v%d", back.ID, back.Version)
+	}
+	if !d.Equal(&back) {
+		t.Errorf("fields lost: %v vs %v", d.Fields, back.Fields)
+	}
+}
+
+func TestCompareNumericCrossType(t *testing.T) {
+	if Compare(int64(1), float64(1.0)) != 0 {
+		t.Error("1 != 1.0")
+	}
+	if Compare(int64(1), float64(1.5)) != -1 {
+		t.Error("1 should be < 1.5")
+	}
+	if Compare(float64(2.5), int64(2)) != 1 {
+		t.Error("2.5 should be > 2")
+	}
+}
+
+func TestCompareTypeOrder(t *testing.T) {
+	// null < numbers < strings < maps < arrays < bools
+	ordered := []any{nil, int64(5), "s", map[string]any{}, []any{}, true}
+	for i := 0; i < len(ordered)-1; i++ {
+		if Compare(ordered[i], ordered[i+1]) != -1 {
+			t.Errorf("type rank order violated between %T and %T", ordered[i], ordered[i+1])
+		}
+	}
+}
+
+func TestCompareArraysAndMaps(t *testing.T) {
+	if Compare([]any{int64(1), int64(2)}, []any{int64(1), int64(3)}) != -1 {
+		t.Error("elementwise array compare failed")
+	}
+	if Compare([]any{int64(1)}, []any{int64(1), int64(0)}) != -1 {
+		t.Error("shorter array should sort first")
+	}
+	a := map[string]any{"a": int64(1)}
+	b := map[string]any{"a": int64(1), "b": int64(2)}
+	if Compare(a, b) != -1 {
+		t.Error("smaller map should sort first")
+	}
+	if Compare(map[string]any{"a": int64(1)}, map[string]any{"b": int64(1)}) != -1 {
+		t.Error("map key order compare failed")
+	}
+}
+
+// genValue builds random canonical values for property tests.
+func genValue(r *rand.Rand, depth int) any {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return nil
+		case 1:
+			return r.Intn(2) == 0
+		case 2:
+			return int64(r.Intn(100))
+		case 3:
+			return r.Float64() * 100
+		default:
+			return string(rune('a' + r.Intn(26)))
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		arr := make([]any, r.Intn(4))
+		for i := range arr {
+			arr[i] = genValue(r, depth-1)
+		}
+		return arr
+	case 1:
+		m := map[string]any{}
+		for i := 0; i < r.Intn(4); i++ {
+			m[string(rune('a'+r.Intn(8)))] = genValue(r, depth-1)
+		}
+		return m
+	default:
+		return genValue(r, 0)
+	}
+}
+
+func TestCompareIsReflexiveAndAntisymmetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(&[2]any{genValue(r, 3), genValue(r, 3)})
+		},
+	}
+	prop := func(pair *[2]any) bool {
+		a, b := pair[0], pair[1]
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			return false
+		}
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalAgreesWithDeepEqual(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(&[2]any{genValue(r, 3), genValue(r, 3)})
+		},
+	}
+	prop := func(pair *[2]any) bool {
+		a, b := pair[0], pair[1]
+		return DeepEqual(a, b) == (Canonical(a) == Canonical(b))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalDeterministicMapOrder(t *testing.T) {
+	a := map[string]any{"x": int64(1), "y": int64(2), "z": int64(3)}
+	want := `{"x":1,"y":2,"z":3}`
+	for i := 0; i < 20; i++ {
+		if got := Canonical(a); got != want {
+			t.Fatalf("Canonical unstable: %s", got)
+		}
+	}
+}
+
+func TestCanonicalIntegralFloatEqualsInt(t *testing.T) {
+	if Canonical(int64(3)) != Canonical(float64(3.0)) {
+		t.Error("3 and 3.0 should share a canonical form")
+	}
+	if Canonical(float64(3.5)) == Canonical(int64(3)) {
+		t.Error("3.5 must differ from 3")
+	}
+}
+
+func TestCloneValueDeep(t *testing.T) {
+	orig := map[string]any{"arr": []any{map[string]any{"k": int64(1)}}}
+	cp := CloneValue(orig).(map[string]any)
+	cp["arr"].([]any)[0].(map[string]any)["k"] = int64(2)
+	if orig["arr"].([]any)[0].(map[string]any)["k"] != int64(1) {
+		t.Error("CloneValue is shallow")
+	}
+}
+
+func TestNormalizeJSONNumber(t *testing.T) {
+	if Normalize(json.Number("42")) != int64(42) {
+		t.Error("integer json.Number should become int64")
+	}
+	if Normalize(json.Number("4.5")) != float64(4.5) {
+		t.Error("fraction json.Number should become float64")
+	}
+}

@@ -1,0 +1,150 @@
+package ebf
+
+import (
+	"sync"
+	"time"
+)
+
+// ClientView is the client SDK's wrapper around a flat EBF snapshot.
+//
+// It implements differential whitelisting (Section 3.3): every key the
+// client has revalidated since the last snapshot refresh is considered
+// fresh until the next renewal, even while the (possibly lagging) Bloom
+// filter still flags it. This compensates for discrepancies between
+// estimated and actual TTLs that would otherwise keep a key "stale" for an
+// extended period.
+type ClientView struct {
+	mu        sync.Mutex
+	snap      Snapshot
+	whitelist map[string]struct{}
+	refreshes uint64
+	lookups   uint64
+	staleHits uint64
+}
+
+// NewClientView wraps an initial snapshot (fetched at connect time).
+func NewClientView(snap Snapshot) *ClientView {
+	return &ClientView{snap: snap, whitelist: map[string]struct{}{}}
+}
+
+// Refresh installs a newer snapshot and clears the whitelist — entries
+// revalidated before the new snapshot are reflected in it already.
+func (v *ClientView) Refresh(snap Snapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if snap.GeneratedAt.Before(v.snap.GeneratedAt) {
+		return // never move backwards in time
+	}
+	v.snap = snap
+	v.whitelist = map[string]struct{}{}
+	v.refreshes++
+}
+
+// IsStale reports whether a read of key must be promoted to a revalidation:
+// the key appears in the Bloom filter and has not been revalidated since
+// the last refresh.
+func (v *ClientView) IsStale(key string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.lookups++
+	if _, ok := v.whitelist[key]; ok {
+		return false
+	}
+	if v.snap.Contains(key) {
+		v.staleHits++
+		return true
+	}
+	return false
+}
+
+// MarkRevalidated whitelists a key after the client revalidated it.
+func (v *ClientView) MarkRevalidated(key string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.whitelist[key] = struct{}{}
+}
+
+// Age returns the snapshot age — the client's current Δ bound.
+func (v *ClientView) Age(now time.Time) time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.snap.Age(now)
+}
+
+// GeneratedAt returns the current snapshot's generation time.
+func (v *ClientView) GeneratedAt() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.snap.GeneratedAt
+}
+
+// Counters reports (refreshes, lookups, staleHits) for instrumentation.
+func (v *ClientView) Counters() (refreshes, lookups, staleHits uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.refreshes, v.lookups, v.staleHits
+}
+
+// Replicated load-balances snapshot reads over n EBF replicas while fanning
+// writes to all of them (Section 3.3 "Read scalability is achieved by
+// replicating the complete EBF and balancing loads of the Bloom filter over
+// the replicas").
+type Replicated struct {
+	replicas []*EBF
+	next     uint64
+	mu       sync.Mutex
+}
+
+// NewReplicated creates n identical EBF replicas.
+func NewReplicated(n int, opts *Options) *Replicated {
+	if n < 1 {
+		n = 1
+	}
+	r := &Replicated{replicas: make([]*EBF, n)}
+	for i := range r.replicas {
+		o := opts.withDefaults()
+		r.replicas[i] = New(&o)
+	}
+	return r
+}
+
+// ReportRead fans the read report to every replica.
+func (r *Replicated) ReportRead(key string, ttl time.Duration) {
+	for _, e := range r.replicas {
+		e.ReportRead(key, ttl)
+	}
+}
+
+// ReportWrite fans the invalidation to every replica; the purge decision
+// comes from the first replica (they are deterministic and identical).
+func (r *Replicated) ReportWrite(key string) bool {
+	purge := false
+	for i, e := range r.replicas {
+		p := e.ReportWrite(key)
+		if i == 0 {
+			purge = p
+		}
+	}
+	return purge
+}
+
+// Snapshot reads from one replica, round-robin.
+func (r *Replicated) Snapshot() Snapshot {
+	r.mu.Lock()
+	idx := r.next % uint64(len(r.replicas))
+	r.next++
+	r.mu.Unlock()
+	return r.replicas[idx].Snapshot()
+}
+
+// Contains checks one replica, round-robin.
+func (r *Replicated) Contains(key string) bool {
+	r.mu.Lock()
+	idx := r.next % uint64(len(r.replicas))
+	r.next++
+	r.mu.Unlock()
+	return r.replicas[idx].Contains(key)
+}
+
+// Replicas returns the replica count.
+func (r *Replicated) Replicas() int { return len(r.replicas) }

@@ -1,0 +1,110 @@
+package ebf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"quaestor/internal/kvstore"
+)
+
+// TestDistributedParity drives the in-memory EBF and the kvstore-backed
+// distributed EBF with the same randomized operation sequence and checks
+// that membership decisions, purge decisions and stale counts agree at
+// every step — the two implementations are interchangeable deployments of
+// the same structure.
+func TestDistributedParity(t *testing.T) {
+	c := newFakeClock()
+	kv := kvstore.NewWithClock(c.Now)
+	defer kv.Close()
+	local := New(&Options{Bits: 1 << 12, Hashes: 4, Clock: c.Now})
+	dist := NewDistributed(kv, "ebf", &Options{Bits: 1 << 12, Hashes: 4, Clock: c.Now})
+
+	r := rand.New(rand.NewSource(11))
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("q:t/key%02d", i)
+	}
+	for step := 0; step < 1500; step++ {
+		k := keys[r.Intn(len(keys))]
+		switch r.Intn(4) {
+		case 0:
+			ttl := time.Duration(1+r.Intn(15)) * time.Second
+			local.ReportRead(k, ttl)
+			dist.ReportRead(k, ttl)
+		case 1:
+			lp := local.ReportWrite(k)
+			dp := dist.ReportWrite(k)
+			if lp != dp {
+				t.Fatalf("step %d: purge decision diverged (local=%v dist=%v)", step, lp, dp)
+			}
+		case 2:
+			c.Advance(time.Duration(r.Intn(3000)) * time.Millisecond)
+		case 3:
+			lc := local.Contains(k)
+			dc := dist.Contains(k)
+			if lc != dc {
+				t.Fatalf("step %d: Contains(%s) diverged (local=%v dist=%v)", step, k, lc, dc)
+			}
+		}
+		if step%101 == 0 {
+			if ls, ds := local.StaleCount(), dist.StaleCount(); ls != ds {
+				t.Fatalf("step %d: stale counts diverged (local=%d dist=%d)", step, ls, ds)
+			}
+		}
+	}
+}
+
+func TestDistributedSnapshotMatchesContains(t *testing.T) {
+	c := newFakeClock()
+	kv := kvstore.NewWithClock(c.Now)
+	defer kv.Close()
+	dist := NewDistributed(kv, "ebf", &Options{Bits: 1 << 12, Hashes: 4, Clock: c.Now})
+
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		dist.ReportRead(k, time.Minute)
+		dist.ReportWrite(k)
+	}
+	snap := dist.Snapshot()
+	for i := 0; i < 10; i++ {
+		if !snap.Contains(fmt.Sprintf("k%d", i)) {
+			t.Errorf("snapshot missing k%d", i)
+		}
+	}
+	if snap.Entries != 10 {
+		t.Errorf("entries = %d", snap.Entries)
+	}
+	// Expire everything; snapshot must empty out.
+	c.Advance(2 * time.Minute)
+	snap = dist.Snapshot()
+	for i := 0; i < 10; i++ {
+		if snap.Contains(fmt.Sprintf("k%d", i)) {
+			// Bloom false positives are possible but with 10 keys in 4096
+			// bits essentially zero; treat as failure.
+			t.Errorf("snapshot still contains expired k%d", i)
+		}
+	}
+}
+
+func TestDistributedSharedAcrossFrontends(t *testing.T) {
+	// Two Distributed instances over one kvstore must observe each other's
+	// state — the multi-server deployment of Section 3.3.
+	c := newFakeClock()
+	kv := kvstore.NewWithClock(c.Now)
+	defer kv.Close()
+	serverA := NewDistributed(kv, "ebf", &Options{Bits: 1 << 12, Hashes: 4, Clock: c.Now})
+	serverB := NewDistributed(kv, "ebf", &Options{Bits: 1 << 12, Hashes: 4, Clock: c.Now})
+
+	serverA.ReportRead("q1", time.Minute)
+	if !serverB.ReportWrite("q1") {
+		t.Fatal("server B should see server A's TTL registration")
+	}
+	if !serverA.Contains("q1") {
+		t.Error("server A should see server B's invalidation")
+	}
+	if serverA.String() == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,320 @@
+package ebf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(0, 0)} }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestEBF(c *fakeClock) *EBF {
+	return New(&Options{Bits: 1 << 14, Hashes: 4, Clock: c.Now})
+}
+
+func TestWriteWithoutReadIsIgnored(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	if e.ReportWrite("q1") {
+		t.Error("write with no cached copy should not require a purge")
+	}
+	if e.Contains("q1") {
+		t.Error("ignored write entered the filter")
+	}
+	st := e.Stats()
+	if st.IgnoredWrites != 1 || st.Invalidations != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInvalidationLifecycle(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	// Read with 10s TTL, write at t=2 -> stale until t=10.
+	e.ReportRead("q1", 10*time.Second)
+	c.Advance(2 * time.Second)
+	if !e.ReportWrite("q1") {
+		t.Fatal("write against live TTL must request a purge")
+	}
+	if !e.Contains("q1") {
+		t.Fatal("invalidated key missing from filter")
+	}
+	c.Advance(7 * time.Second) // t=9: still within the issued TTL
+	if !e.Contains("q1") {
+		t.Error("key left the filter before its TTL expired")
+	}
+	c.Advance(2 * time.Second) // t=11: TTL passed
+	if e.Contains("q1") {
+		t.Error("key remained after the highest TTL expired")
+	}
+	if st := e.Stats(); st.Expirations != 1 {
+		t.Errorf("expirations = %d", st.Expirations)
+	}
+}
+
+func TestHighestTTLWins(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	e.ReportRead("q1", 5*time.Second)
+	e.ReportRead("q1", 20*time.Second) // a later read issued a longer TTL
+	e.ReportRead("q1", 3*time.Second)  // shorter TTLs must not shrink it
+	c.Advance(time.Second)
+	if !e.ReportWrite("q1") {
+		t.Fatal("write should hit the live TTL")
+	}
+	c.Advance(10 * time.Second) // t=11 < 20: still flagged
+	if !e.Contains("q1") {
+		t.Error("key dropped before the HIGHEST issued TTL expired")
+	}
+	c.Advance(10 * time.Second) // t=21 > 20
+	if e.Contains("q1") {
+		t.Error("key kept past the highest TTL")
+	}
+}
+
+func TestWriteAfterTTLExpiredIsIgnored(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	e.ReportRead("q1", time.Second)
+	c.Advance(2 * time.Second)
+	if e.ReportWrite("q1") {
+		t.Error("no cache can still hold the entry; purge not needed")
+	}
+}
+
+func TestRepeatedInvalidationExtends(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	e.ReportRead("q1", 5*time.Second)
+	c.Advance(time.Second)
+	e.ReportWrite("q1")
+	// A fresh read issues a new TTL; a second write must keep the key until
+	// the NEW expiration.
+	e.ReportRead("q1", 10*time.Second) // expires at t=11
+	if !e.ReportWrite("q1") {
+		t.Fatal("second write should still purge")
+	}
+	c.Advance(5 * time.Second) // t=6 > first TTL end (5) but < 11
+	if !e.Contains("q1") {
+		t.Error("extension lost: key dropped at the superseded expiration")
+	}
+	c.Advance(6 * time.Second) // t=12
+	if e.Contains("q1") {
+		t.Error("key kept past extended expiration")
+	}
+}
+
+// TestDeltaAtomicityProperty is Theorem 1 in executable form: for any
+// sequence of reads (with TTLs) and writes, a snapshot generated at time t
+// contains every key that was written before t while still cached (i.e.
+// any cache could serve a stale copy at t).
+func TestDeltaAtomicityProperty(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	type cachedUntil struct{ expires, written time.Time }
+	state := map[string]*cachedUntil{}
+
+	keys := make([]string, 30)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	rng := func(i, m int) int { return (i*2654435761 + 12345) % m }
+	for step := 0; step < 2000; step++ {
+		k := keys[rng(step, len(keys))]
+		switch rng(step, 3) {
+		case 0: // read with TTL 1..20s
+			ttl := time.Duration(1+rng(step, 20)) * time.Second
+			e.ReportRead(k, ttl)
+			exp := c.Now().Add(ttl)
+			cu, ok := state[k]
+			if !ok {
+				state[k] = &cachedUntil{expires: exp}
+			} else if exp.After(cu.expires) {
+				cu.expires = exp
+			}
+		case 1: // write
+			e.ReportWrite(k)
+			if cu, ok := state[k]; ok && c.Now().Before(cu.expires) {
+				cu.written = c.Now()
+			}
+		case 2:
+			c.Advance(time.Duration(rng(step, 1500)) * time.Millisecond)
+		}
+		if step%97 == 0 {
+			snap := e.Snapshot()
+			for key, cu := range state {
+				mustContain := !cu.written.IsZero() && c.Now().Before(cu.expires)
+				if mustContain && !snap.Contains(key) {
+					t.Fatalf("step %d: stale key %s missing from snapshot (Theorem 1 violated)", step, key)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotIsImmutableCopy(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	e.ReportRead("q1", time.Minute)
+	snap := e.Snapshot()
+	e.ReportWrite("q1")
+	if snap.Contains("q1") {
+		t.Error("snapshot mutated after later invalidation")
+	}
+	if !e.Snapshot().Contains("q1") {
+		t.Error("new snapshot missing the invalidation")
+	}
+}
+
+func TestSnapshotAge(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	snap := e.Snapshot()
+	c.Advance(3 * time.Second)
+	if got := snap.Age(c.Now()); got != 3*time.Second {
+		t.Errorf("age = %v", got)
+	}
+	var zero Snapshot
+	if zero.Age(c.Now()) != 0 || zero.Contains("x") {
+		t.Error("zero snapshot misbehaves")
+	}
+}
+
+func TestStaleCount(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		e.ReportRead(k, 10*time.Second)
+		e.ReportWrite(k)
+	}
+	if n := e.StaleCount(); n != 5 {
+		t.Errorf("StaleCount = %d", n)
+	}
+	c.Advance(11 * time.Second)
+	if n := e.StaleCount(); n != 0 {
+		t.Errorf("StaleCount after expiry = %d", n)
+	}
+}
+
+func TestZeroTTLReadIgnored(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	e.ReportRead("q1", 0)
+	if e.ReportWrite("q1") {
+		t.Error("zero-TTL read should not make writes purgeable")
+	}
+}
+
+func TestClientViewWhitelist(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	e.ReportRead("q1", time.Minute)
+	e.ReportWrite("q1")
+
+	v := NewClientView(e.Snapshot())
+	if !v.IsStale("q1") {
+		t.Fatal("view should flag the invalidated key")
+	}
+	v.MarkRevalidated("q1")
+	if v.IsStale("q1") {
+		t.Error("revalidated key still stale (whitelist broken)")
+	}
+	// A refresh clears the whitelist; the (still flagged) key is stale
+	// again according to the new filter.
+	c.Advance(time.Second)
+	v.Refresh(e.Snapshot())
+	if !v.IsStale("q1") {
+		t.Error("refresh should reset the whitelist")
+	}
+	refreshes, lookups, staleHits := v.Counters()
+	if refreshes != 1 || lookups != 3 || staleHits != 2 {
+		t.Errorf("counters = %d %d %d", refreshes, lookups, staleHits)
+	}
+}
+
+func TestClientViewRejectsOlderSnapshots(t *testing.T) {
+	c := newFakeClock()
+	e := newTestEBF(c)
+	old := e.Snapshot()
+	c.Advance(time.Second)
+	fresh := e.Snapshot()
+	v := NewClientView(fresh)
+	v.Refresh(old)
+	if !v.GeneratedAt().Equal(fresh.GeneratedAt) {
+		t.Error("view moved backwards in time")
+	}
+}
+
+func TestPartitionedRoutingAndUnion(t *testing.T) {
+	c := newFakeClock()
+	p := NewPartitioned(&Options{Bits: 1 << 14, Hashes: 4, Clock: c.Now})
+	p.ReportRead("posts/p1", time.Minute)
+	p.ReportRead("q:users/$true", time.Minute)
+	p.ReportWrite("posts/p1")
+	p.ReportWrite("q:users/$true")
+
+	// Aggregated snapshot covers both tables (bitwise OR).
+	agg := p.Snapshot()
+	if !agg.Contains("posts/p1") || !agg.Contains("q:users/$true") {
+		t.Error("aggregate snapshot missing a partition's entries")
+	}
+	// Per-table snapshots only cover their own table.
+	postsOnly := p.SnapshotTable("posts")
+	if !postsOnly.Contains("posts/p1") {
+		t.Error("posts partition missing its key")
+	}
+	if postsOnly.Contains("q:users/$true") {
+		t.Error("posts partition contains users key (should be separate)")
+	}
+	tables := p.Tables()
+	if len(tables) != 2 || tables[0] != "posts" || tables[1] != "users" {
+		t.Errorf("tables = %v", tables)
+	}
+	if st := p.Stats(); st.Invalidations != 2 {
+		t.Errorf("aggregated stats = %+v", st)
+	}
+}
+
+func TestTableOf(t *testing.T) {
+	cases := map[string]string{
+		"posts/p1":          "posts",
+		"q:posts/$and(...)": "posts",
+		"q:users/x/y":       "users",
+		"bare":              "bare",
+	}
+	for key, want := range cases {
+		if got := TableOf(key); got != want {
+			t.Errorf("TableOf(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestReplicatedConsistency(t *testing.T) {
+	c := newFakeClock()
+	r := NewReplicated(3, &Options{Bits: 1 << 12, Hashes: 4, Clock: c.Now})
+	if r.Replicas() != 3 {
+		t.Fatalf("replicas = %d", r.Replicas())
+	}
+	r.ReportRead("k", time.Minute)
+	if !r.ReportWrite("k") {
+		t.Fatal("replicated write should purge")
+	}
+	// Every replica must agree regardless of rotation.
+	for i := 0; i < 6; i++ {
+		if !r.Contains("k") {
+			t.Fatalf("replica rotation %d disagrees", i)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if !r.Snapshot().Contains("k") {
+			t.Fatalf("snapshot rotation %d disagrees", i)
+		}
+	}
+}

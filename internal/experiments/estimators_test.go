@@ -1,0 +1,7 @@
+package experiments
+
+import "testing"
+
+func TestAblationEstimators(t *testing.T) {
+	checkTable(t, AblationEstimators(tiny), "quaestor", "alex", "static")
+}

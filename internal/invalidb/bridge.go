@@ -1,0 +1,116 @@
+package invalidb
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/kvstore"
+)
+
+// Bridge relays notifications through a kvstore message queue, mirroring
+// the paper's deployment where "communication between QUAESTOR and
+// InvaliDB is handled through Redis message queues". Quaestor servers in
+// other processes (or just other components) consume the queue by name.
+type Bridge struct {
+	kv    *kvstore.Store
+	queue string
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// wireNotification is the queue's JSON payload.
+type wireNotification struct {
+	QueryKey  string         `json:"q"`
+	Type      string         `json:"t"`
+	DocID     string         `json:"id"`
+	DocFields map[string]any `json:"doc,omitempty"`
+	Index     int            `json:"i"`
+	Seq       uint64         `json:"seq"`
+	EventNano int64          `json:"et"`
+	DetNano   int64          `json:"dt"`
+}
+
+// NewBridge starts draining the cluster's notification channel into the
+// named kvstore queue. Close the bridge before stopping the cluster.
+func NewBridge(c *Cluster, kv *kvstore.Store, queue string) *Bridge {
+	b := &Bridge{kv: kv, queue: queue, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(b.done)
+		for {
+			select {
+			case n, ok := <-c.Notifications():
+				if !ok {
+					return
+				}
+				payload, err := json.Marshal(toWire(n))
+				if err != nil {
+					continue
+				}
+				if _, err := kv.LPush(queue, string(payload)); err != nil {
+					return
+				}
+			case <-b.stop:
+				return
+			}
+		}
+	}()
+	return b
+}
+
+func toWire(n Notification) wireNotification {
+	w := wireNotification{
+		QueryKey:  n.QueryKey,
+		Type:      n.Type.String(),
+		Index:     n.Index,
+		Seq:       n.Seq,
+		EventNano: n.EventTime.UnixNano(),
+		DetNano:   n.DetectedAt.UnixNano(),
+	}
+	if n.Doc != nil {
+		w.DocID = n.Doc.ID
+		w.DocFields = n.Doc.Fields
+	}
+	return w
+}
+
+// Close stops the relay goroutine.
+func (b *Bridge) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+// Receive pops one notification from the queue, blocking up to timeout.
+// The boolean reports whether a notification arrived.
+func Receive(kv *kvstore.Store, queue string, timeout time.Duration) (Notification, bool, error) {
+	raw, ok, err := kv.BRPop(queue, timeout)
+	if err != nil || !ok {
+		return Notification{}, false, err
+	}
+	var w wireNotification
+	if err := json.Unmarshal([]byte(raw), &w); err != nil {
+		return Notification{}, false, fmt.Errorf("invalidb: corrupt queue payload: %w", err)
+	}
+	n := Notification{
+		QueryKey:   w.QueryKey,
+		Index:      w.Index,
+		Seq:        w.Seq,
+		EventTime:  time.Unix(0, w.EventNano),
+		DetectedAt: time.Unix(0, w.DetNano),
+	}
+	switch w.Type {
+	case "add":
+		n.Type = EventAdd
+	case "remove":
+		n.Type = EventRemove
+	case "change":
+		n.Type = EventChange
+	case "changeIndex":
+		n.Type = EventChangeIndex
+	}
+	if w.DocID != "" {
+		n.Doc = &document.Document{ID: w.DocID, Fields: w.DocFields}
+	}
+	return n, true, nil
+}

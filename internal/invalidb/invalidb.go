@@ -1,0 +1,521 @@
+// Package invalidb implements InvaliDB, Quaestor's scalable real-time
+// query-invalidation pipeline (Section 4.1).
+//
+// InvaliDB continuously matches record after-images from the database's
+// change stream against all registered (cached) queries and notifies
+// Quaestor the moment a cached result becomes stale. The workload is
+// distributed over a 2-D grid: the set of active queries is hash-partitioned
+// into query partitions (columns) and the change stream into object
+// partitions (rows); each matching task owns one (row, column) cell, so it
+// is responsible for a subset of all queries and only a fraction of their
+// result sets. Ingestion tasks are separate from matching tasks and are
+// never colocated with them.
+//
+// Notification events follow the paper: add (an object enters a result
+// set), remove (it leaves), change (a contained object's state changes
+// without altering membership) and changeIndex (positional change within a
+// sorted/limited result). Stateless predicates are matched entirely inside
+// the grid cell; ORDER BY / LIMIT / OFFSET queries additionally flow
+// through a separate order-maintenance layer partitioned by query.
+//
+// The paper runs this topology on Apache Storm; here each task is a
+// goroutine connected by channels, preserving the partitioning scheme that
+// the paper's linear scalability derives from.
+package invalidb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/store"
+)
+
+// EventType classifies a notification.
+type EventType int
+
+// Notification event kinds (Section 4.1 "Notification Events").
+const (
+	EventAdd EventType = iota
+	EventRemove
+	EventChange
+	EventChangeIndex
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventAdd:
+		return "add"
+	case EventRemove:
+		return "remove"
+	case EventChange:
+		return "change"
+	case EventChangeIndex:
+		return "changeIndex"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// EventMask selects which notification events a subscription receives.
+type EventMask uint8
+
+// Masks for the two useful subscription combinations (Section 4.1): id-list
+// results only need membership changes, object-list results also need state
+// changes of contained objects.
+const (
+	MaskAdd         EventMask = 1 << EventAdd
+	MaskRemove      EventMask = 1 << EventRemove
+	MaskChange      EventMask = 1 << EventChange
+	MaskChangeIndex EventMask = 1 << EventChangeIndex
+
+	// MaskIDList invalidates only on result-set membership changes.
+	MaskIDList = MaskAdd | MaskRemove | MaskChangeIndex
+	// MaskObjectList additionally invalidates when a contained object
+	// changes state.
+	MaskObjectList = MaskIDList | MaskChange
+)
+
+// Has reports whether the mask includes t.
+func (m EventMask) Has(t EventType) bool { return m&(1<<t) != 0 }
+
+// Notification reports one query-result change.
+type Notification struct {
+	QueryKey string
+	Type     EventType
+	// Doc is the after-image that triggered the event (nil fields for
+	// deletes). For changeIndex it is the repositioned document.
+	Doc *document.Document
+	// Index is the document's new position inside the windowed result for
+	// sorted queries; -1 for stateless queries.
+	Index int
+	// Seq is the change-stream sequence number of the triggering write.
+	Seq uint64
+	// EventTime is when the write happened; DetectedAt when InvaliDB
+	// matched it. DetectedAt − EventTime is the notification latency the
+	// paper measures in Figure 12.
+	EventTime  time.Time
+	DetectedAt time.Time
+}
+
+// Registration activates a query in the pipeline.
+type Registration struct {
+	// Query to match. Must not be nil.
+	Query *query.Query
+	// Mask selects the delivered events (default MaskObjectList).
+	Mask EventMask
+	// InitialMatches is the full set of documents currently matching the
+	// query *predicate* (for stateful queries this is the unwindowed match
+	// set — InvaliDB "has to be aware of the result sets of all newly added
+	// queries in order to maintain their correct state").
+	InitialMatches []*document.Document
+	// AsOfSeq is the change-stream sequence number the initial evaluation
+	// reflects. Replay events with Seq > AsOfSeq close the activation gap.
+	AsOfSeq uint64
+	// Replay holds recent change events to re-process on activation
+	// ("all recently received objects are replayed for a query when it is
+	// installed").
+	Replay []store.ChangeEvent
+}
+
+// Common errors.
+var (
+	ErrStopped       = errors.New("invalidb: cluster is stopped")
+	ErrNilQuery      = errors.New("invalidb: registration query must not be nil")
+	ErrAtCapacity    = errors.New("invalidb: query capacity exhausted")
+	ErrNotRegistered = errors.New("invalidb: query not registered")
+)
+
+// Config sizes the cluster.
+type Config struct {
+	// QueryPartitions is the number of columns; ObjectPartitions the number
+	// of rows. Matching tasks = QueryPartitions × ObjectPartitions.
+	// Defaults: 1 × 1.
+	QueryPartitions  int
+	ObjectPartitions int
+	// IngestTasks is the number of change-stream ingestion task instances
+	// (default 1). Events are routed to ingestion tasks by document id so
+	// per-record ordering is preserved end-to-end.
+	IngestTasks int
+	// Buffer is the channel depth between stages (default 1024).
+	Buffer int
+	// MaxQueries caps the number of active queries (0 = unlimited); this is
+	// the raw capacity behind Quaestor's admission model.
+	MaxQueries int
+	// Clock supplies timestamps (default time.Now).
+	Clock func() time.Time
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{QueryPartitions: 1, ObjectPartitions: 1, IngestTasks: 1, Buffer: 1024, Clock: time.Now}
+	if c == nil {
+		return out
+	}
+	if c.QueryPartitions > 0 {
+		out.QueryPartitions = c.QueryPartitions
+	}
+	if c.ObjectPartitions > 0 {
+		out.ObjectPartitions = c.ObjectPartitions
+	}
+	if c.IngestTasks > 0 {
+		out.IngestTasks = c.IngestTasks
+	}
+	if c.Buffer > 0 {
+		out.Buffer = c.Buffer
+	}
+	out.MaxQueries = c.MaxQueries
+	if c.Clock != nil {
+		out.Clock = c.Clock
+	}
+	return out
+}
+
+// Cluster is a running InvaliDB deployment.
+type Cluster struct {
+	cfg   Config
+	nodes [][]*matchNode // [objectPartition][queryPartition]
+
+	ingestCh []chan store.ChangeEvent
+	orderCh  []chan rawEvent // order layer, partitioned by query
+	orders   []*orderTask
+
+	out  chan Notification
+	done chan struct{}
+
+	mu       sync.Mutex
+	active   map[string]*activeQuery // by query key
+	attached []*attachedStore
+	stopped  bool
+	wg       sync.WaitGroup
+	detected atomic.Uint64
+	ingested atomic.Uint64
+	inflight atomic.Int64 // events accepted but not yet fully matched
+	clock    func() time.Time
+}
+
+type activeQuery struct {
+	q    *query.Query
+	mask EventMask
+	col  int
+}
+
+// NewCluster builds and starts an InvaliDB cluster.
+func NewCluster(cfg *Config) *Cluster {
+	conf := cfg.withDefaults()
+	c := &Cluster{
+		cfg:    conf,
+		out:    make(chan Notification, conf.Buffer),
+		done:   make(chan struct{}),
+		active: map[string]*activeQuery{},
+		clock:  conf.Clock,
+	}
+	c.nodes = make([][]*matchNode, conf.ObjectPartitions)
+	for row := range c.nodes {
+		c.nodes[row] = make([]*matchNode, conf.QueryPartitions)
+		for col := range c.nodes[row] {
+			n := newMatchNode(c, row, col, conf.Buffer)
+			c.nodes[row][col] = n
+			c.wg.Add(1)
+			go n.run(&c.wg)
+		}
+	}
+	// Order layer: one task per query partition, so order state for a
+	// single query lives in exactly one place ("maintains order-related
+	// state in a separate processing layer partitioned by query").
+	c.orderCh = make([]chan rawEvent, conf.QueryPartitions)
+	c.orders = make([]*orderTask, conf.QueryPartitions)
+	for i := range c.orderCh {
+		c.orderCh[i] = make(chan rawEvent, conf.Buffer)
+		c.orders[i] = newOrderTask(c, c.orderCh[i])
+		c.wg.Add(1)
+		go c.orders[i].run(&c.wg)
+	}
+	// Change-stream ingestion tasks.
+	c.ingestCh = make([]chan store.ChangeEvent, conf.IngestTasks)
+	for i := range c.ingestCh {
+		c.ingestCh[i] = make(chan store.ChangeEvent, conf.Buffer)
+		ch := c.ingestCh[i]
+		c.wg.Add(1)
+		go c.runIngestTask(ch)
+	}
+	return c
+}
+
+// hash32 routes strings to partitions.
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func (c *Cluster) queryColumn(queryKey string) int {
+	return int(hash32(queryKey) % uint32(c.cfg.QueryPartitions))
+}
+
+func (c *Cluster) objectRow(docID string) int {
+	return int(hash32(docID) % uint32(c.cfg.ObjectPartitions))
+}
+
+// Notifications returns the stream of invalidation events. The channel
+// closes after Stop.
+func (c *Cluster) Notifications() <-chan Notification { return c.out }
+
+// sendMsg delivers m to a node unless the cluster stops first.
+func (c *Cluster) sendMsg(n *matchNode, m nodeMsg) bool {
+	select {
+	case n.in <- m:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// sendOrder delivers a raw event to the order layer unless stopping.
+func (c *Cluster) sendOrder(col int, ev rawEvent) bool {
+	select {
+	case c.orderCh[col] <- ev:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// Activate registers a query for continuous matching. The registration is
+// installed on every matching task in the query's partition column; each
+// cell keeps was-match state only for its own object partition.
+func (c *Cluster) Activate(reg Registration) error {
+	if reg.Query == nil {
+		return ErrNilQuery
+	}
+	if reg.Mask == 0 {
+		reg.Mask = MaskObjectList
+	}
+	key := reg.Query.Key()
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return ErrStopped
+	}
+	if _, ok := c.active[key]; ok {
+		c.mu.Unlock()
+		return nil // idempotent re-activation
+	}
+	if c.cfg.MaxQueries > 0 && len(c.active) >= c.cfg.MaxQueries {
+		c.mu.Unlock()
+		return fmt.Errorf("%w (%d active)", ErrAtCapacity, c.cfg.MaxQueries)
+	}
+	col := c.queryColumn(key)
+	c.active[key] = &activeQuery{q: reg.Query, mask: reg.Mask, col: col}
+	c.mu.Unlock()
+
+	// Install order state first so windowed events produced by replay have
+	// somewhere to land.
+	if reg.Query.Stateful() {
+		c.sendOrder(col, rawEvent{kind: rawActivate, queryKey: key, reg: &reg})
+	}
+	// Partition the initial match set by object row and install per-cell.
+	byRow := make([][]*document.Document, c.cfg.ObjectPartitions)
+	for _, d := range reg.InitialMatches {
+		row := c.objectRow(d.ID)
+		byRow[row] = append(byRow[row], d)
+	}
+	for row := 0; row < c.cfg.ObjectPartitions; row++ {
+		c.sendMsg(c.nodes[row][col], nodeMsg{activate: &nodeActivation{
+			q:       reg.Query,
+			mask:    reg.Mask,
+			initial: byRow[row],
+			asOf:    reg.AsOfSeq,
+		}})
+	}
+	// Replay recent events through the normal ingestion path; the grid
+	// routes them to the right cells. Events at or before AsOfSeq are
+	// already reflected in InitialMatches.
+	for _, ev := range reg.Replay {
+		if ev.Seq > reg.AsOfSeq {
+			c.Ingest(ev)
+		}
+	}
+	return nil
+}
+
+// Deactivate removes a query from the pipeline.
+func (c *Cluster) Deactivate(queryKey string) error {
+	c.mu.Lock()
+	aq, ok := c.active[queryKey]
+	if !ok {
+		c.mu.Unlock()
+		return ErrNotRegistered
+	}
+	delete(c.active, queryKey)
+	stopped := c.stopped
+	c.mu.Unlock()
+	if stopped {
+		return nil
+	}
+	for row := 0; row < c.cfg.ObjectPartitions; row++ {
+		c.sendMsg(c.nodes[row][aq.col], nodeMsg{deactivate: queryKey})
+	}
+	if aq.q.Stateful() {
+		c.sendOrder(aq.col, rawEvent{kind: rawDeactivate, queryKey: queryKey})
+	}
+	return nil
+}
+
+// Ingest feeds one change event into the pipeline. Routing to ingestion
+// tasks is by document id so a record's updates stay ordered end-to-end.
+func (c *Cluster) Ingest(ev store.ChangeEvent) {
+	idx := int(hash32(ev.After.ID) % uint32(len(c.ingestCh)))
+	c.inflight.Add(1)
+	select {
+	case c.ingestCh[idx] <- ev:
+		c.ingested.Add(1)
+	case <-c.done:
+		c.inflight.Add(-1)
+	}
+}
+
+// runIngestTask forwards each event to every matching task in the event's
+// object-partition row.
+func (c *Cluster) runIngestTask(ch <-chan store.ChangeEvent) {
+	defer c.wg.Done()
+	for {
+		select {
+		case ev := <-ch:
+			row := c.objectRow(ev.After.ID)
+			for _, n := range c.nodes[row] {
+				c.inflight.Add(1)
+				if !c.sendMsg(n, nodeMsg{event: &ev}) {
+					c.inflight.Add(-1)
+				}
+			}
+			c.inflight.Add(-1)
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// attachedStore tracks pump progress for one subscribed store so Quiesce
+// can account for events still sitting between the store and Ingest.
+type attachedStore struct {
+	st     *store.Store
+	pumped atomic.Uint64
+}
+
+// AttachStore pumps a store's change stream into the cluster until the
+// store closes or the cluster stops. It returns a cancel function.
+func (c *Cluster) AttachStore(s *store.Store) func() {
+	ch, cancel := s.Subscribe()
+	att := &attachedStore{st: s}
+	c.mu.Lock()
+	c.attached = append(c.attached, att)
+	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			c.Ingest(ev)
+			att.pumped.Store(ev.Seq)
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+		c.mu.Lock()
+		for i, a := range c.attached {
+			if a == att {
+				c.attached = append(c.attached[:i:i], c.attached[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// drained reports whether no event is in flight anywhere: between attached
+// stores and Ingest, between stages, or inside a matching task.
+func (c *Cluster) drained() bool {
+	if c.inflight.Load() != 0 {
+		return false
+	}
+	c.mu.Lock()
+	attached := append([]*attachedStore(nil), c.attached...)
+	c.mu.Unlock()
+	for _, a := range attached {
+		if a.pumped.Load() < a.st.LastSeq() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiesce blocks until every ingested event has been fully matched (or the
+// timeout elapses), returning whether the pipeline drained. Tests and the
+// evaluation harness use this instead of sleeping.
+func (c *Cluster) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.drained() {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return c.drained()
+}
+
+// ActiveQueries returns the number of registered queries.
+func (c *Cluster) ActiveQueries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.active)
+}
+
+// MatchingNodes returns the grid size (rows × columns).
+func (c *Cluster) MatchingNodes() int {
+	return c.cfg.ObjectPartitions * c.cfg.QueryPartitions
+}
+
+// Stats reports (ingested events, emitted notifications).
+func (c *Cluster) Stats() (ingested, notifications uint64) {
+	return c.ingested.Load(), c.detected.Load()
+}
+
+// emit delivers a notification, stamping detection time. Blocks for
+// backpressure rather than dropping; drops only during shutdown.
+func (c *Cluster) emit(n Notification) {
+	n.DetectedAt = c.clock()
+	select {
+	case c.out <- n:
+		c.detected.Add(1)
+	case <-c.done:
+	}
+}
+
+// forwardToOrder hands a raw predicate-level event to the order layer.
+func (c *Cluster) forwardToOrder(ev rawEvent) {
+	c.inflight.Add(1)
+	if !c.sendOrder(c.queryColumn(ev.queryKey), ev) {
+		c.inflight.Add(-1)
+	}
+}
+
+// Stop shuts the pipeline down and closes the notification channel.
+// Events still in flight are dropped.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+	close(c.out)
+}

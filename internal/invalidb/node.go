@@ -1,0 +1,155 @@
+package invalidb
+
+import (
+	"sync"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/store"
+)
+
+// nodeMsg is the union message type consumed by a matching task: exactly
+// one field is set.
+type nodeMsg struct {
+	event      *store.ChangeEvent
+	activate   *nodeActivation
+	deactivate string
+}
+
+type nodeActivation struct {
+	q       *query.Query
+	mask    EventMask
+	initial []*document.Document // matches within this node's object partition
+	asOf    uint64               // change-stream position the initial set reflects
+}
+
+// nodeQuery is a matching task's registration of one query.
+type nodeQuery struct {
+	q        *query.Query
+	mask     EventMask
+	stateful bool
+	// asOf is the sequence number the initial match set reflects; events at
+	// or below it are already part of that state and must be skipped, which
+	// makes activation exact even while events race the registration.
+	asOf uint64
+	// wasMatch holds the ids of documents in this node's object partition
+	// that currently match the query predicate — the per-record "former
+	// matching status" state of Section 4.1, partitioned by record id.
+	wasMatch map[string]struct{}
+}
+
+// matchNode is one cell of the 2-D matching grid: it owns the queries of
+// one query partition restricted to the documents of one object partition.
+type matchNode struct {
+	cluster *Cluster
+	row     int // object partition
+	col     int // query partition
+	in      chan nodeMsg
+	queries map[string]*nodeQuery
+}
+
+func newMatchNode(c *Cluster, row, col, buffer int) *matchNode {
+	return &matchNode{
+		cluster: c,
+		row:     row,
+		col:     col,
+		in:      make(chan nodeMsg, buffer),
+		queries: map[string]*nodeQuery{},
+	}
+}
+
+func (n *matchNode) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case m := <-n.in:
+			n.handle(m)
+		case <-n.cluster.done:
+			return
+		}
+	}
+}
+
+func (n *matchNode) handle(m nodeMsg) {
+	switch {
+	case m.event != nil:
+		n.match(*m.event)
+		n.cluster.inflight.Add(-1)
+	case m.activate != nil:
+		nq := &nodeQuery{
+			q:        m.activate.q,
+			mask:     m.activate.mask,
+			stateful: m.activate.q.Stateful(),
+			asOf:     m.activate.asOf,
+			wasMatch: make(map[string]struct{}, len(m.activate.initial)),
+		}
+		for _, d := range m.activate.initial {
+			nq.wasMatch[d.ID] = struct{}{}
+		}
+		n.queries[m.activate.q.Key()] = nq
+	case m.deactivate != "":
+		delete(n.queries, m.deactivate)
+	}
+}
+
+// match evaluates one after-image against every registered query — the
+// "Is Match? / Was Match?" decision of Figure 6 — and emits or forwards the
+// resulting add/remove/change events.
+func (n *matchNode) match(ev store.ChangeEvent) {
+	docID := ev.After.ID
+	for key, nq := range n.queries {
+		if nq.q.Table != ev.Table {
+			continue
+		}
+		if ev.Seq <= nq.asOf {
+			// Already reflected in the activation's initial match set.
+			continue
+		}
+		_, was := nq.wasMatch[docID]
+		is := !ev.Deleted && nq.q.Predicate.Matches(ev.After.Fields)
+		var evType EventType
+		switch {
+		case is && !was:
+			evType = EventAdd
+			nq.wasMatch[docID] = struct{}{}
+		case !is && was:
+			evType = EventRemove
+			delete(nq.wasMatch, docID)
+		case is && was:
+			evType = EventChange
+		default:
+			continue // never matched: irrelevant update
+		}
+
+		if nq.stateful {
+			// The order layer owns windowing; it needs every predicate
+			// transition including changes (a change can reorder results).
+			kind := rawAdd
+			switch evType {
+			case EventRemove:
+				kind = rawRemove
+			case EventChange:
+				kind = rawChange
+			}
+			n.cluster.forwardToOrder(rawEvent{
+				kind:      kind,
+				queryKey:  key,
+				doc:       ev.After,
+				seq:       ev.Seq,
+				eventTime: ev.Time,
+			})
+			continue
+		}
+		if !nq.mask.Has(evType) {
+			continue
+		}
+		n.cluster.emit(Notification{
+			QueryKey:  key,
+			Type:      evType,
+			Doc:       ev.After,
+			Index:     -1,
+			Seq:       ev.Seq,
+			EventTime: ev.Time,
+		})
+	}
+}

@@ -1,0 +1,531 @@
+// Package kvstore implements an in-memory key-value store with the Redis
+// primitives Quaestor depends on (Section 3.3 "Implementation": "all DBaaS
+// servers communicate with the in-memory key-value store Redis, which holds
+// the counting Bloom Filter and the tracked expirations", plus the message
+// queues connecting Quaestor and InvaliDB).
+//
+// Supported structures: strings with TTL, 64-bit counters, hashes, lists
+// usable as blocking queues, sorted sets (for expiration tracking), and
+// publish/subscribe channels. All operations are safe for concurrent use.
+package kvstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrWrongType is returned when a key holds a value of another structure.
+var ErrWrongType = errors.New("kvstore: operation against a key holding the wrong kind of value")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+type valueKind int
+
+const (
+	kindString valueKind = iota
+	kindCounter
+	kindHash
+	kindList
+	kindZSet
+)
+
+type entry struct {
+	kind    valueKind
+	str     string
+	counter int64
+	hash    map[string]string
+	list    []string
+	zset    map[string]float64
+	// expiresAt is zero for persistent keys.
+	expiresAt time.Time
+}
+
+// Store is an in-memory Redis-like store.
+type Store struct {
+	mu      sync.Mutex
+	data    map[string]*entry
+	waiters map[string][]chan struct{} // blocked BRPop waiters per list key
+	subs    map[string]map[int]chan string
+	nextID  int
+	closed  bool
+	clock   func() time.Time
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		data:    map[string]*entry{},
+		waiters: map[string][]chan struct{}{},
+		subs:    map[string]map[int]chan string{},
+		clock:   time.Now,
+	}
+}
+
+// NewWithClock creates a store using the supplied clock (for simulation).
+func NewWithClock(clock func() time.Time) *Store {
+	s := New()
+	s.clock = clock
+	return s
+}
+
+// Close shuts down the store and closes all subscriptions.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, chans := range s.subs {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+	s.subs = map[string]map[int]chan string{}
+	for _, ws := range s.waiters {
+		for _, w := range ws {
+			close(w)
+		}
+	}
+	s.waiters = map[string][]chan struct{}{}
+}
+
+// live returns the entry if present and unexpired, evicting lazily.
+func (s *Store) live(key string) *entry {
+	e, ok := s.data[key]
+	if !ok {
+		return nil
+	}
+	if !e.expiresAt.IsZero() && !s.clock().Before(e.expiresAt) {
+		delete(s.data, key)
+		return nil
+	}
+	return e
+}
+
+// Set stores a string value. ttl == 0 means no expiration.
+func (s *Store) Set(key, value string, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &entry{kind: kindString, str: value}
+	if ttl > 0 {
+		e.expiresAt = s.clock().Add(ttl)
+	}
+	s.data[key] = e
+}
+
+// Get returns the string value and whether it exists.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil || e.kind != kindString {
+		return "", false
+	}
+	return e.str, true
+}
+
+// Del removes keys, returning how many existed.
+func (s *Store) Del(keys ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if s.live(k) != nil {
+			delete(s.data, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Exists reports whether the key is present and unexpired.
+func (s *Store) Exists(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live(key) != nil
+}
+
+// Expire sets a TTL on an existing key.
+func (s *Store) Expire(key string, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return false
+	}
+	e.expiresAt = s.clock().Add(ttl)
+	return true
+}
+
+// IncrBy adjusts a counter by delta, creating it at 0 first.
+func (s *Store) IncrBy(key string, delta int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		e = &entry{kind: kindCounter}
+		s.data[key] = e
+	}
+	if e.kind != kindCounter {
+		return 0, ErrWrongType
+	}
+	e.counter += delta
+	return e.counter, nil
+}
+
+// GetCounter reads a counter (0 when missing).
+func (s *Store) GetCounter(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return 0, nil
+	}
+	if e.kind != kindCounter {
+		return 0, ErrWrongType
+	}
+	return e.counter, nil
+}
+
+// HSet assigns a hash field, returning true when the field was new.
+func (s *Store) HSet(key, field, value string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		e = &entry{kind: kindHash, hash: map[string]string{}}
+		s.data[key] = e
+	}
+	if e.kind != kindHash {
+		return false, ErrWrongType
+	}
+	_, existed := e.hash[field]
+	e.hash[field] = value
+	return !existed, nil
+}
+
+// HGet reads a hash field.
+func (s *Store) HGet(key, field string) (string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return "", false, nil
+	}
+	if e.kind != kindHash {
+		return "", false, ErrWrongType
+	}
+	v, ok := e.hash[field]
+	return v, ok, nil
+}
+
+// HDel removes hash fields, returning how many existed.
+func (s *Store) HDel(key string, fields ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return 0, nil
+	}
+	if e.kind != kindHash {
+		return 0, ErrWrongType
+	}
+	n := 0
+	for _, f := range fields {
+		if _, ok := e.hash[f]; ok {
+			delete(e.hash, f)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// HGetAll returns a copy of all hash fields.
+func (s *Store) HGetAll(key string) (map[string]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return map[string]string{}, nil
+	}
+	if e.kind != kindHash {
+		return nil, ErrWrongType
+	}
+	out := make(map[string]string, len(e.hash))
+	for k, v := range e.hash {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// HLen returns the number of hash fields.
+func (s *Store) HLen(key string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return 0, nil
+	}
+	if e.kind != kindHash {
+		return 0, ErrWrongType
+	}
+	return len(e.hash), nil
+}
+
+// LPush prepends values to a list, waking one blocked BRPop waiter.
+func (s *Store) LPush(key string, values ...string) (int, error) {
+	s.mu.Lock()
+	e := s.live(key)
+	if e == nil {
+		e = &entry{kind: kindList}
+		s.data[key] = e
+	}
+	if e.kind != kindList {
+		s.mu.Unlock()
+		return 0, ErrWrongType
+	}
+	for _, v := range values {
+		e.list = append([]string{v}, e.list...)
+	}
+	n := len(e.list)
+	var wake chan struct{}
+	if ws := s.waiters[key]; len(ws) > 0 {
+		wake = ws[0]
+		s.waiters[key] = ws[1:]
+	}
+	s.mu.Unlock()
+	if wake != nil {
+		close(wake)
+	}
+	return n, nil
+}
+
+// RPop removes and returns the list tail.
+func (s *Store) RPop(key string) (string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rpopLocked(key)
+}
+
+func (s *Store) rpopLocked(key string) (string, bool, error) {
+	e := s.live(key)
+	if e == nil {
+		return "", false, nil
+	}
+	if e.kind != kindList {
+		return "", false, ErrWrongType
+	}
+	if len(e.list) == 0 {
+		return "", false, nil
+	}
+	v := e.list[len(e.list)-1]
+	e.list = e.list[:len(e.list)-1]
+	return v, true, nil
+}
+
+// BRPop blocks until an element is available at the list tail or the
+// timeout elapses (timeout <= 0 waits forever). This is the queue primitive
+// connecting Quaestor and InvaliDB.
+func (s *Store) BRPop(key string, timeout time.Duration) (string, bool, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return "", false, ErrClosed
+		}
+		v, ok, err := s.rpopLocked(key)
+		if err != nil || ok {
+			s.mu.Unlock()
+			return v, ok, err
+		}
+		w := make(chan struct{})
+		s.waiters[key] = append(s.waiters[key], w)
+		s.mu.Unlock()
+
+		if deadline.IsZero() {
+			<-w
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			s.dropWaiter(key, w)
+			return "", false, nil
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-w:
+			t.Stop()
+		case <-t.C:
+			s.dropWaiter(key, w)
+			return "", false, nil
+		}
+	}
+}
+
+func (s *Store) dropWaiter(key string, w chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.waiters[key]
+	for i, cand := range ws {
+		if cand == w {
+			s.waiters[key] = append(ws[:i:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+// LLen returns the list length.
+func (s *Store) LLen(key string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return 0, nil
+	}
+	if e.kind != kindList {
+		return 0, ErrWrongType
+	}
+	return len(e.list), nil
+}
+
+// ZAdd inserts or updates a sorted-set member with the given score.
+func (s *Store) ZAdd(key, member string, score float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		e = &entry{kind: kindZSet, zset: map[string]float64{}}
+		s.data[key] = e
+	}
+	if e.kind != kindZSet {
+		return ErrWrongType
+	}
+	e.zset[member] = score
+	return nil
+}
+
+// ZRangeByScore returns members with min <= score <= max, ascending.
+func (s *Store) ZRangeByScore(key string, min, max float64) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return nil, nil
+	}
+	if e.kind != kindZSet {
+		return nil, ErrWrongType
+	}
+	pairs := make([]zpair, 0, len(e.zset))
+	for m, sc := range e.zset {
+		if sc >= min && sc <= max {
+			pairs = append(pairs, zpair{m, sc})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score < pairs[j].score
+		}
+		return pairs[i].member < pairs[j].member
+	})
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.member
+	}
+	return out, nil
+}
+
+type zpair struct {
+	member string
+	score  float64
+}
+
+// ZRem removes sorted-set members, returning how many existed.
+func (s *Store) ZRem(key string, members ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.live(key)
+	if e == nil {
+		return 0, nil
+	}
+	if e.kind != kindZSet {
+		return 0, ErrWrongType
+	}
+	n := 0
+	for _, m := range members {
+		if _, ok := e.zset[m]; ok {
+			delete(e.zset, m)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Publish sends a message to all subscribers of a channel and returns the
+// number of receivers. Delivery is best-effort for full buffers, mirroring
+// Redis pub/sub semantics.
+func (s *Store) Publish(channel, message string) int {
+	s.mu.Lock()
+	chans := make([]chan string, 0, len(s.subs[channel]))
+	for _, ch := range s.subs[channel] {
+		chans = append(chans, ch)
+	}
+	s.mu.Unlock()
+	delivered := 0
+	for _, ch := range chans {
+		select {
+		case ch <- message:
+			delivered++
+		default: // drop for slow consumers, like Redis
+		}
+	}
+	return delivered
+}
+
+// Subscribe registers a pub/sub consumer on a channel.
+func (s *Store) Subscribe(channel string) (<-chan string, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan string, 1024)
+	if s.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	if s.subs[channel] == nil {
+		s.subs[channel] = map[int]chan string{}
+	}
+	id := s.nextID
+	s.nextID++
+	s.subs[channel][id] = ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if m, ok := s.subs[channel]; ok {
+			if c, ok := m[id]; ok {
+				delete(m, id)
+				close(c)
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// Keys returns the number of live keys (expired keys are swept).
+func (s *Store) Keys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.data {
+		if s.live(k) != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,303 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetGetDel(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Set("k", "v", 0)
+	if v, ok := s.Get("k"); !ok || v != "v" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if n := s.Del("k", "missing"); n != 1 {
+		t.Errorf("Del = %d", n)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("deleted key still present")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := NewWithClock(func() time.Time { return now })
+	defer s.Close()
+	s.Set("k", "v", time.Second)
+	if !s.Exists("k") {
+		t.Fatal("key should exist before expiry")
+	}
+	now = now.Add(2 * time.Second)
+	if s.Exists("k") {
+		t.Error("key should have expired")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("expired key readable")
+	}
+}
+
+func TestExpireExisting(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := NewWithClock(func() time.Time { return now })
+	defer s.Close()
+	s.Set("k", "v", 0)
+	if !s.Expire("k", time.Second) {
+		t.Fatal("Expire on live key should succeed")
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if s.Exists("k") {
+		t.Error("key should expire after Expire TTL")
+	}
+	if s.Expire("missing", time.Second) {
+		t.Error("Expire on missing key should fail")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if v, err := s.IncrBy("c", 5); err != nil || v != 5 {
+		t.Errorf("IncrBy = %d, %v", v, err)
+	}
+	if v, err := s.IncrBy("c", -2); err != nil || v != 3 {
+		t.Errorf("IncrBy = %d, %v", v, err)
+	}
+	if v, err := s.GetCounter("c"); err != nil || v != 3 {
+		t.Errorf("GetCounter = %d, %v", v, err)
+	}
+	if v, err := s.GetCounter("missing"); err != nil || v != 0 {
+		t.Errorf("missing counter = %d, %v", v, err)
+	}
+}
+
+func TestWrongTypeErrors(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Set("str", "v", 0)
+	if _, err := s.IncrBy("str", 1); !errors.Is(err, ErrWrongType) {
+		t.Errorf("IncrBy on string: %v", err)
+	}
+	if _, err := s.HSet("str", "f", "v"); !errors.Is(err, ErrWrongType) {
+		t.Errorf("HSet on string: %v", err)
+	}
+	if _, err := s.LPush("str", "v"); !errors.Is(err, ErrWrongType) {
+		t.Errorf("LPush on string: %v", err)
+	}
+	if err := s.ZAdd("str", "m", 1); !errors.Is(err, ErrWrongType) {
+		t.Errorf("ZAdd on string: %v", err)
+	}
+}
+
+func TestHashOperations(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if fresh, _ := s.HSet("h", "a", "1"); !fresh {
+		t.Error("first HSet should be fresh")
+	}
+	if fresh, _ := s.HSet("h", "a", "2"); fresh {
+		t.Error("overwrite should not be fresh")
+	}
+	if v, ok, _ := s.HGet("h", "a"); !ok || v != "2" {
+		t.Errorf("HGet = %q %v", v, ok)
+	}
+	if _, ok, _ := s.HGet("h", "missing"); ok {
+		t.Error("missing field present")
+	}
+	s.HSet("h", "b", "3")
+	all, _ := s.HGetAll("h")
+	if len(all) != 2 || all["b"] != "3" {
+		t.Errorf("HGetAll = %v", all)
+	}
+	if n, _ := s.HLen("h"); n != 2 {
+		t.Errorf("HLen = %d", n)
+	}
+	if n, _ := s.HDel("h", "a", "missing"); n != 1 {
+		t.Errorf("HDel = %d", n)
+	}
+}
+
+func TestListQueue(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if n, _ := s.LPush("q", "a", "b"); n != 2 {
+		t.Errorf("LPush = %d", n)
+	}
+	// LPush prepends, RPop takes the tail -> FIFO.
+	if v, ok, _ := s.RPop("q"); !ok || v != "a" {
+		t.Errorf("RPop = %q", v)
+	}
+	if v, ok, _ := s.RPop("q"); !ok || v != "b" {
+		t.Errorf("RPop = %q", v)
+	}
+	if _, ok, _ := s.RPop("q"); ok {
+		t.Error("empty queue popped")
+	}
+	if n, _ := s.LLen("q"); n != 0 {
+		t.Errorf("LLen = %d", n)
+	}
+}
+
+func TestBRPopBlocksUntilPush(t *testing.T) {
+	s := New()
+	defer s.Close()
+	got := make(chan string, 1)
+	go func() {
+		v, ok, err := s.BRPop("q", 5*time.Second)
+		if err != nil || !ok {
+			got <- fmt.Sprintf("err=%v ok=%v", err, ok)
+			return
+		}
+		got <- v
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := s.LPush("q", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Errorf("BRPop = %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("BRPop never woke up")
+	}
+}
+
+func TestBRPopTimeout(t *testing.T) {
+	s := New()
+	defer s.Close()
+	start := time.Now()
+	_, ok, err := s.BRPop("empty", 50*time.Millisecond)
+	if err != nil || ok {
+		t.Errorf("timeout pop: ok=%v err=%v", ok, err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("BRPop returned before timeout")
+	}
+}
+
+func TestBRPopImmediateWhenAvailable(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.LPush("q", "x")
+	v, ok, err := s.BRPop("q", time.Second)
+	if err != nil || !ok || v != "x" {
+		t.Errorf("BRPop = %q %v %v", v, ok, err)
+	}
+}
+
+func TestSortedSet(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.ZAdd("z", "c", 3)
+	s.ZAdd("z", "a", 1)
+	s.ZAdd("z", "b", 2)
+	got, err := s.ZRangeByScore("z", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("ZRangeByScore = %v", got)
+	}
+	// Updating a member's score moves it.
+	s.ZAdd("z", "a", 10)
+	got, _ = s.ZRangeByScore("z", 1, 5)
+	if len(got) != 2 || got[0] != "b" {
+		t.Errorf("after update = %v", got)
+	}
+	if n, _ := s.ZRem("z", "a", "missing"); n != 1 {
+		t.Errorf("ZRem = %d", n)
+	}
+}
+
+func TestPubSub(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ch1, cancel1 := s.Subscribe("topic")
+	ch2, cancel2 := s.Subscribe("topic")
+	defer cancel2()
+	if n := s.Publish("topic", "m1"); n != 2 {
+		t.Errorf("Publish delivered to %d", n)
+	}
+	if v := <-ch1; v != "m1" {
+		t.Errorf("sub1 got %q", v)
+	}
+	if v := <-ch2; v != "m1" {
+		t.Errorf("sub2 got %q", v)
+	}
+	cancel1()
+	if n := s.Publish("topic", "m2"); n != 1 {
+		t.Errorf("after cancel: delivered to %d", n)
+	}
+	if _, ok := <-ch1; ok {
+		t.Error("cancelled channel should be closed")
+	}
+	if n := s.Publish("empty-topic", "x"); n != 0 {
+		t.Errorf("publish to no subscribers = %d", n)
+	}
+}
+
+func TestCloseUnblocksAndCloses(t *testing.T) {
+	s := New()
+	ch, _ := s.Subscribe("t")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.BRPop("q", 0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("BRPop after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock BRPop")
+	}
+	if _, ok := <-ch; ok {
+		t.Error("subscription should close on store close")
+	}
+	s.Close() // idempotent
+}
+
+func TestKeysCountsLive(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := NewWithClock(func() time.Time { return now })
+	defer s.Close()
+	s.Set("a", "1", 0)
+	s.Set("b", "2", time.Second)
+	if s.Keys() != 2 {
+		t.Errorf("Keys = %d", s.Keys())
+	}
+	now = now.Add(2 * time.Second)
+	if s.Keys() != 1 {
+		t.Errorf("Keys after expiry = %d", s.Keys())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.IncrBy("counter", 1)
+				s.HSet("hash", fmt.Sprintf("w%d", id), fmt.Sprintf("%d", i))
+				s.LPush(fmt.Sprintf("list%d", id), "x")
+				s.RPop(fmt.Sprintf("list%d", id))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v, _ := s.GetCounter("counter"); v != 1600 {
+		t.Errorf("counter = %d, want 1600", v)
+	}
+}

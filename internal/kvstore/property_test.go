@@ -1,0 +1,107 @@
+package kvstore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQueueFIFOProperty: for any sequence of pushed values, LPush+RPop
+// behaves as a FIFO queue.
+func TestQueueFIFOProperty(t *testing.T) {
+	prop := func(values []string) bool {
+		s := New()
+		defer s.Close()
+		for _, v := range values {
+			if _, err := s.LPush("q", v); err != nil {
+				return false
+			}
+		}
+		for _, want := range values {
+			got, ok, err := s.RPop("q")
+			if err != nil || !ok || got != want {
+				return false
+			}
+		}
+		_, ok, _ := s.RPop("q")
+		return !ok // drained
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashModelProperty: HSet/HGet/HDel agree with a plain map.
+func TestHashModelProperty(t *testing.T) {
+	type op struct {
+		Set   bool
+		Field uint8
+		Value string
+	}
+	prop := func(ops []op) bool {
+		s := New()
+		defer s.Close()
+		model := map[string]string{}
+		for _, o := range ops {
+			field := fmt.Sprintf("f%d", o.Field%16)
+			if o.Set {
+				if _, err := s.HSet("h", field, o.Value); err != nil {
+					return false
+				}
+				model[field] = o.Value
+			} else {
+				if _, err := s.HDel("h", field); err != nil {
+					return false
+				}
+				delete(model, field)
+			}
+		}
+		all, err := s.HGetAll("h")
+		if err != nil || len(all) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if all[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZSetOrderedProperty: ZRangeByScore returns members sorted by score
+// (ties by member) and respects bounds.
+func TestZSetOrderedProperty(t *testing.T) {
+	prop := func(scores []float64) bool {
+		s := New()
+		defer s.Close()
+		for i, sc := range scores {
+			if err := s.ZAdd("z", fmt.Sprintf("m%03d", i), sc); err != nil {
+				return false
+			}
+		}
+		got, err := s.ZRangeByScore("z", math.Inf(-1), math.Inf(1))
+		if err != nil || len(got) != len(scores) {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, m := range got {
+			var idx int
+			if _, err := fmt.Sscanf(m, "m%03d", &idx); err != nil {
+				return false
+			}
+			if scores[idx] < prev {
+				return false
+			}
+			prev = scores[idx]
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package query
+
+// FilterDocument converts a Predicate back into its MongoDB-style filter
+// document, the inverse of ParseFilter. Clients use it to render
+// deterministic query URLs. A True predicate returns nil (empty filter).
+func FilterDocument(p Predicate) map[string]any {
+	switch t := p.(type) {
+	case nil:
+		return nil
+	case True:
+		return nil
+	case *Field:
+		return map[string]any{t.Path: map[string]any{string(t.Op): t.Value}}
+	case *And:
+		return compoundDocument("$and", t.Children)
+	case *Or:
+		return compoundDocument("$or", t.Children)
+	case *Not:
+		child := FilterDocument(t.Child)
+		if child == nil {
+			child = map[string]any{}
+		}
+		return map[string]any{"$not": child}
+	default:
+		return nil
+	}
+}
+
+func compoundDocument(op string, children []Predicate) map[string]any {
+	list := make([]any, 0, len(children))
+	for _, c := range children {
+		doc := FilterDocument(c)
+		if doc == nil {
+			doc = map[string]any{}
+		}
+		list = append(list, doc)
+	}
+	return map[string]any{op: list}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// This file implements token-based authorization — the remaining DBaaS
+// surface the paper scopes (Section 2). The model matches
+// backend-as-a-service practice: anonymous clients may read public data
+// (reads must stay cacheable, so authorization for cached GETs is
+// coarse-grained by design — fine-grained per-user read ACLs would defeat
+// shared web caching, which is why Baqend applies them only to uncached
+// resources); writes, transactions and schema changes require a bearer
+// token with the matching role.
+
+// Role is an authorization level.
+type Role int
+
+const (
+	// RoleReader may only perform GET requests.
+	RoleReader Role = iota
+	// RoleWriter may additionally write data and commit transactions.
+	RoleWriter
+	// RoleAdmin may additionally manage tables and schemas.
+	RoleAdmin
+)
+
+// AuthConfig declares bearer tokens and the anonymous policy.
+type AuthConfig struct {
+	// Tokens maps bearer token -> role.
+	Tokens map[string]Role
+	// AllowAnonymousReads keeps GETs open without a token (default policy
+	// for public, cacheable data). Anonymous writes are always rejected
+	// once auth is enabled.
+	AllowAnonymousReads bool
+}
+
+// authorizer guards the handler chain.
+type authorizer struct {
+	mu  sync.RWMutex
+	cfg *AuthConfig
+}
+
+// EnableAuth switches the HTTP API to token authorization. Passing nil
+// disables it again (the default: open, for embedded/test use).
+func (s *Server) EnableAuth(cfg *AuthConfig) {
+	s.auth.mu.Lock()
+	defer s.auth.mu.Unlock()
+	s.auth.cfg = cfg
+}
+
+// roleFor resolves the request's role; ok reports whether the request is
+// allowed to proceed at all.
+func (a *authorizer) roleFor(r *http.Request) (Role, bool) {
+	a.mu.RLock()
+	cfg := a.cfg
+	a.mu.RUnlock()
+	if cfg == nil {
+		return RoleAdmin, true // auth disabled: open instance
+	}
+	header := r.Header.Get("Authorization")
+	if strings.HasPrefix(header, "Bearer ") {
+		token := strings.TrimPrefix(header, "Bearer ")
+		for candidate, role := range cfg.Tokens {
+			if subtle.ConstantTimeCompare([]byte(candidate), []byte(token)) == 1 {
+				return role, true
+			}
+		}
+		return 0, false // explicit bad token is always rejected
+	}
+	if cfg.AllowAnonymousReads && isReadRequest(r) {
+		return RoleReader, true
+	}
+	return 0, false
+}
+
+// isReadRequest reports whether the request only reads data.
+func isReadRequest(r *http.Request) bool {
+	return r.Method == http.MethodGet || r.Method == http.MethodHead
+}
+
+// requiredRole maps a request to the minimum role.
+func requiredRole(r *http.Request) Role {
+	if isReadRequest(r) {
+		return RoleReader
+	}
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/v1/tables/"),
+		strings.HasPrefix(r.URL.Path, "/v1/schema/"):
+		return RoleAdmin
+	default:
+		return RoleWriter
+	}
+}
+
+// withAuth wraps the API with the authorization check.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		role, ok := s.auth.roleFor(r)
+		if !ok {
+			writeError(w, &httpError{http.StatusUnauthorized, "missing or invalid bearer token"})
+			return
+		}
+		if role < requiredRole(r) {
+			writeError(w, &httpError{http.StatusForbidden, "insufficient role"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,22 @@
+package server
+
+import (
+	"net/url"
+
+	"quaestor/internal/invalidb"
+)
+
+// invalidbConfig1 builds an InvaliDB config with a single-query capacity.
+func invalidbConfig1() invalidb.Config {
+	return invalidb.Config{MaxQueries: 1}
+}
+
+// mustValues parses a raw query string, panicking on malformed input (test
+// fixtures only).
+func mustValues(raw string) url.Values {
+	v, err := url.ParseQuery(raw)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/store"
+	"quaestor/internal/ttl"
+)
+
+// Handler returns the REST API as an http.Handler:
+//
+//	GET    /v1/ebf                     — flat EBF snapshot (base64 in JSON)
+//	POST   /v1/tables/{table}          — create table
+//	GET    /v1/db/{table}/{id}         — read record (cacheable)
+//	PUT    /v1/db/{table}/{id}         — upsert record
+//	PATCH  /v1/db/{table}/{id}         — partial update (UpdateSpec JSON)
+//	DELETE /v1/db/{table}/{id}         — delete record
+//	POST   /v1/db/{table}              — insert record
+//	GET    /v1/db/{table}?q=…&sort=…&limit=…&offset=… — query (cacheable)
+//	GET    /v1/stats                   — server statistics
+//	POST   /v1/transaction             — BOCC transaction commit
+//	GET    /v1/subscribe?table=…&q=…   — SSE query change stream
+//
+// Cacheable responses carry Cache-Control, ETag and X-Quaestor-Key headers;
+// conditional requests with If-None-Match receive 304.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ebf", s.handleEBF)
+	mux.HandleFunc("/v1/tables/", s.handleTables)
+	mux.HandleFunc("/v1/db/", s.handleDB)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/transaction", s.handleTxn)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("/v1/files/", s.handleFiles)
+	mux.HandleFunc("/v1/schema/", s.handleSchema)
+	return s.withAuth(mux)
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+		msg = he.msg
+	case errors.Is(err, store.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, store.ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, store.ErrNoTable):
+		status = http.StatusNotFound
+	case errors.Is(err, store.ErrVersionCheck):
+		status = http.StatusPreconditionFailed
+	case errors.Is(err, store.ErrBadUpdateSpec), errors.Is(err, store.ErrEmptyID):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// EBFResponse is the JSON body of GET /v1/ebf.
+type EBFResponse struct {
+	// Filter is the base64-encoded flat Bloom filter (bloom.Filter wire
+	// format).
+	Filter string `json:"filter"`
+	// GeneratedAt is the snapshot generation time in Unix nanoseconds; the
+	// client's Δ is measured against it.
+	GeneratedAt int64 `json:"generatedAt"`
+	// Entries is the number of currently stale keys.
+	Entries int `json:"entries"`
+}
+
+func (s *Server) handleEBF(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	// ?table=X serves that table's partition only — clients may trade
+	// extra fetches for a lower false positive rate (Section 3.3).
+	snap := s.EBFSnapshot()
+	if table := r.URL.Query().Get("table"); table != "" {
+		snap = s.EBFTableSnapshot(table)
+	}
+	// The EBF itself must never be cached: it is the coherence signal.
+	w.Header().Set("Cache-Control", "no-store")
+	body := EBFResponse{
+		Filter:      base64.StdEncoding.EncodeToString(snap.Filter.Marshal()),
+		GeneratedAt: snap.GeneratedAt.UnixNano(),
+		Entries:     snap.Entries,
+	}
+	// A sparse Bloom filter is highly compressible; honour gzip so the
+	// piggybacked filter stays within one congestion window on the wire.
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		gz := gzip.NewWriter(w)
+		_ = json.NewEncoder(gz).Encode(body)
+		_ = gz.Close()
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
+		return
+	}
+	table := strings.TrimPrefix(r.URL.Path, "/v1/tables/")
+	if table == "" || strings.Contains(table, "/") {
+		writeError(w, badRequest("invalid table name %q", table))
+		return
+	}
+	if err := s.db.CreateTable(table); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"table": table})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleDB routes /v1/db/{table}[/{id}].
+func (s *Server) handleDB(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/db/")
+	parts := strings.SplitN(rest, "/", 2)
+	table := parts[0]
+	if table == "" {
+		writeError(w, badRequest("missing table"))
+		return
+	}
+	if len(parts) == 2 && parts[1] != "" {
+		s.handleRecord(w, r, table, parts[1])
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleQuery(w, r, table)
+	case http.MethodPost:
+		s.handleInsert(w, r, table)
+	default:
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "unsupported method"})
+	}
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request, table, id string) {
+	switch r.Method {
+	case http.MethodGet:
+		res, err := s.Read(table, id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		browserTTL, cdnTTL := s.CacheControl(res.TTL)
+		w.Header().Set("Cache-Control", cacheControlValue(browserTTL, cdnTTL))
+		w.Header().Set("ETag", res.ETag)
+		w.Header().Set("X-Quaestor-Key", RecordKey(table, id))
+		if r.Header.Get("If-None-Match") == res.ETag {
+			s.revalidations.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		writeJSON(w, http.StatusOK, res.Doc)
+	case http.MethodPut:
+		var doc document.Document
+		if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+			writeError(w, badRequest("invalid document: %v", err))
+			return
+		}
+		doc.ID = id
+		if err := s.Put(table, &doc); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": id})
+	case http.MethodPatch:
+		var spec store.UpdateSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, badRequest("invalid update spec: %v", err))
+			return
+		}
+		doc, err := s.Update(table, id, spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	case http.MethodDelete:
+		if err := s.Delete(table, id); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "unsupported method"})
+	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, table string) {
+	var doc document.Document
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		writeError(w, badRequest("invalid document: %v", err))
+		return
+	}
+	if err := s.Insert(table, &doc); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": doc.ID})
+}
+
+// QueryResponse is the JSON body of a query.
+type QueryResponse struct {
+	Representation string               `json:"rep"`
+	IDs            []string             `json:"ids"`
+	Docs           []*document.Document `json:"docs,omitempty"`
+	Count          int                  `json:"count"`
+}
+
+// ParseQueryRequest builds a query.Query from REST query parameters. The
+// client SDK uses the same routine to construct deterministic URLs.
+func ParseQueryRequest(table string, params url.Values) (*query.Query, error) {
+	pred, err := query.ParseJSON([]byte(params.Get("q")))
+	if err != nil {
+		return nil, badRequest("invalid filter: %v", err)
+	}
+	q := query.New(table, pred)
+	if sortSpec := params.Get("sort"); sortSpec != "" {
+		var keys []query.SortKey
+		for _, part := range strings.Split(sortSpec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if strings.HasPrefix(part, "-") {
+				keys = append(keys, query.Desc(part[1:]))
+			} else {
+				keys = append(keys, query.Asc(part))
+			}
+		}
+		q = q.Sorted(keys...)
+	}
+	offset, limit := 0, 0
+	if v := params.Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return nil, badRequest("invalid offset %q", v)
+		}
+	}
+	if v := params.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return nil, badRequest("invalid limit %q", v)
+		}
+	}
+	if offset > 0 || limit > 0 {
+		q = q.Sliced(offset, limit)
+	}
+	return q, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table string) {
+	q, err := ParseQueryRequest(table, r.URL.Query())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.Query(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Remember which path serves this query so invalidations can purge it.
+	s.RegisterQueryPath(q.Key(), r.URL.RequestURI())
+
+	if res.Cacheable {
+		browserTTL, cdnTTL := s.CacheControl(res.TTL)
+		w.Header().Set("Cache-Control", cacheControlValue(browserTTL, cdnTTL))
+	} else {
+		w.Header().Set("Cache-Control", "no-store")
+	}
+	w.Header().Set("ETag", res.ETag)
+	w.Header().Set("X-Quaestor-Key", q.Key())
+	w.Header().Set("X-Quaestor-Rep", res.Representation.String())
+	if r.Header.Get("If-None-Match") == res.ETag {
+		s.revalidations.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body := QueryResponse{
+		Representation: res.Representation.String(),
+		IDs:            res.IDs,
+		Count:          len(res.IDs),
+	}
+	if res.Representation == ttl.ObjectList {
+		body.Docs = res.Docs
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func cacheControlValue(browserTTL, cdnTTL interface{ Seconds() float64 }) string {
+	b := int(browserTTL.Seconds())
+	c := int(cdnTTL.Seconds())
+	if b <= 0 && c <= 0 {
+		return "no-store"
+	}
+	parts := []string{"public"}
+	if b > 0 {
+		parts = append(parts, fmt.Sprintf("max-age=%d", b))
+	} else {
+		parts = append(parts, "max-age=0")
+	}
+	if c > 0 {
+		parts = append(parts, fmt.Sprintf("s-maxage=%d", c))
+	}
+	return strings.Join(parts, ", ")
+}

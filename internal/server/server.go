@@ -1,0 +1,626 @@
+// Package server implements the Quaestor DBaaS middleware (Figure 3): the
+// data layer that answers CRUD operations and queries over HTTP with
+// cache-coherent TTLs, maintains the Expiring Bloom Filter, registers
+// cached queries in InvaliDB, and purges invalidation-based caches when
+// results become stale.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/ebf"
+	"quaestor/internal/invalidb"
+	"quaestor/internal/query"
+	"quaestor/internal/store"
+	"quaestor/internal/ttl"
+)
+
+// CacheMode selects which caching headers the server emits — the paper's
+// evaluation baselines (Figure 8a) map directly onto these modes.
+type CacheMode int
+
+const (
+	// ModeFull emits both max-age (browser/ISP) and s-maxage (CDN) — full
+	// Quaestor.
+	ModeFull CacheMode = iota
+	// ModeCDNOnly emits only s-maxage: results cache in invalidation-based
+	// tiers but not in clients ("CDN only" baseline).
+	ModeCDNOnly
+	// ModeClientOnly emits only a private max-age: results cache in the
+	// browser, nothing shared ("EBF only" baseline).
+	ModeClientOnly
+	// ModeUncached emits no-store everywhere (the uncached Orestes
+	// baseline).
+	ModeUncached
+)
+
+// String implements fmt.Stringer.
+func (m CacheMode) String() string {
+	switch m {
+	case ModeFull:
+		return "quaestor"
+	case ModeCDNOnly:
+		return "cdn-only"
+	case ModeClientOnly:
+		return "client-only"
+	case ModeUncached:
+		return "uncached"
+	default:
+		return fmt.Sprintf("CacheMode(%d)", int(m))
+	}
+}
+
+// RepresentationPolicy selects how query results are materialized.
+type RepresentationPolicy int
+
+const (
+	// RepCostBased applies the paper's cost model per query.
+	RepCostBased RepresentationPolicy = iota
+	// RepAlwaysObjects always serves full object-lists.
+	RepAlwaysObjects
+	// RepAlwaysIDs always serves id-lists.
+	RepAlwaysIDs
+)
+
+// Purger is an invalidation-based cache the server can purge
+// asynchronously (CDNs, reverse proxies).
+type Purger interface {
+	// PurgeKey removes the cached entry for a resource path.
+	PurgeKey(path string)
+}
+
+// PurgerFunc adapts a function to the Purger interface.
+type PurgerFunc func(path string)
+
+// PurgeKey implements Purger.
+func (f PurgerFunc) PurgeKey(path string) { f(path) }
+
+// Coherence is the EBF surface the server uses; *ebf.EBF, *ebf.Partitioned
+// and *ebf.Distributed all satisfy it.
+type Coherence interface {
+	ReportRead(key string, ttl time.Duration)
+	ReportWrite(key string) bool
+	Snapshot() ebf.Snapshot
+}
+
+// Options configures a Server.
+type Options struct {
+	// Mode selects the caching baseline (default ModeFull).
+	Mode CacheMode
+	// Representation selects the result materialization policy.
+	Representation RepresentationPolicy
+	// TTL tunes the estimator. Nil uses defaults.
+	TTL *ttl.Config
+	// EBF tunes the filter. Nil uses defaults (14.6 KB, k=4).
+	EBF *ebf.Options
+	// InvaliDB sizes the invalidation cluster. Nil: 1×1 grid.
+	InvaliDB *invalidb.Config
+	// QueryCapacity caps the number of concurrently cached queries
+	// (admission control); 0 derives it from the InvaliDB capacity.
+	QueryCapacity int
+	// ActiveListPartitions shards the active list (default 16).
+	ActiveListPartitions int
+	// Clock supplies time (default time.Now).
+	Clock func() time.Time
+	// InvalidationDelay artificially defers cache purges — used to study
+	// Δ_invalidation effects. Zero purges synchronously on detection.
+	InvalidationDelay time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{ActiveListPartitions: 16, Clock: time.Now}
+	if o != nil {
+		out = *o
+		if out.ActiveListPartitions <= 0 {
+			out.ActiveListPartitions = 16
+		}
+		if out.Clock == nil {
+			out.Clock = time.Now
+		}
+	}
+	return out
+}
+
+// Stats aggregates server activity.
+type Stats struct {
+	Reads            uint64
+	Queries          uint64
+	Writes           uint64
+	Revalidations    uint64
+	QueryActivations uint64
+	Invalidations    uint64
+	Purges           uint64
+	RejectedQueries  uint64 // not admitted to caching
+}
+
+// Server is the Quaestor middleware instance.
+type Server struct {
+	opts   Options
+	db     *store.Store
+	coh    Coherence
+	est    *ttl.Estimator
+	active *ttl.ActiveList
+	inv    *invalidb.Cluster
+
+	mu          sync.Mutex
+	purgers     []Purger
+	queryPaths  map[string]string // query key -> resource path for purging
+	registered  map[string]bool   // query key -> activated in InvaliDB
+	subscribers map[string]map[int]chan invalidb.Notification
+	nextSubID   int
+	closed      bool
+
+	// txnMu serializes transaction validation+apply (single-node BOCC).
+	txnMu sync.Mutex
+
+	schemas *schemaRegistry
+	auth    authorizer
+
+	detachStore func()
+	notifyDone  chan struct{}
+
+	reads            atomic.Uint64
+	queries          atomic.Uint64
+	writes           atomic.Uint64
+	revalidations    atomic.Uint64
+	queryActivations atomic.Uint64
+	invalidations    atomic.Uint64
+	purges           atomic.Uint64
+	rejected         atomic.Uint64
+}
+
+// New assembles a server around an existing document store. The server
+// owns an InvaliDB cluster and attaches it to the store's change stream.
+func New(db *store.Store, opts *Options) *Server {
+	o := opts.withDefaults()
+	ebfOpts := o.EBF
+	if ebfOpts == nil {
+		ebfOpts = &ebf.Options{}
+	}
+	if ebfOpts.Clock == nil {
+		ebfOpts.Clock = o.Clock
+	}
+	ttlCfg := o.TTL
+	if ttlCfg == nil {
+		ttlCfg = &ttl.Config{}
+	}
+	if ttlCfg.Clock == nil {
+		ttlCfg.Clock = o.Clock
+	}
+	invCfg := o.InvaliDB
+	if invCfg == nil {
+		invCfg = &invalidb.Config{}
+	}
+	if invCfg.Clock == nil {
+		invCfg.Clock = o.Clock
+	}
+	capacity := o.QueryCapacity
+	if capacity == 0 {
+		capacity = invCfg.MaxQueries
+	}
+
+	s := &Server{
+		opts:       o,
+		db:         db,
+		coh:        ebf.NewPartitioned(ebfOpts),
+		est:        ttl.NewEstimator(ttlCfg),
+		active:     ttl.NewActiveList(o.ActiveListPartitions, capacity, o.Clock),
+		inv:        invalidb.NewCluster(invCfg),
+		queryPaths: map[string]string{},
+		registered: map[string]bool{},
+		schemas:    newSchemaRegistry(),
+		notifyDone: make(chan struct{}),
+	}
+	s.detachStore = s.inv.AttachStore(db)
+	go s.notificationLoop()
+	return s
+}
+
+// Close stops the invalidation pipeline. The store stays open (callers own
+// it).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.detachStore()
+	s.inv.Stop()
+	<-s.notifyDone
+	s.mu.Lock()
+	for key, m := range s.subscribers {
+		for id, ch := range m {
+			delete(m, id)
+			close(ch)
+		}
+		delete(s.subscribers, key)
+	}
+	s.mu.Unlock()
+}
+
+// Store exposes the underlying database.
+func (s *Server) Store() *store.Store { return s.db }
+
+// Estimator exposes the TTL estimator (for the evaluation harness).
+func (s *Server) Estimator() *ttl.Estimator { return s.est }
+
+// ActiveList exposes the active query registry.
+func (s *Server) ActiveList() *ttl.ActiveList { return s.active }
+
+// InvaliDB exposes the invalidation cluster.
+func (s *Server) InvaliDB() *invalidb.Cluster { return s.inv }
+
+// AddPurger registers an invalidation-based cache for purge fan-out.
+func (s *Server) AddPurger(p Purger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgers = append(s.purgers, p)
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Reads:            s.reads.Load(),
+		Queries:          s.queries.Load(),
+		Writes:           s.writes.Load(),
+		Revalidations:    s.revalidations.Load(),
+		QueryActivations: s.queryActivations.Load(),
+		Invalidations:    s.invalidations.Load(),
+		Purges:           s.purges.Load(),
+		RejectedQueries:  s.rejected.Load(),
+	}
+}
+
+// RecordKey is the EBF/cache key of a record.
+func RecordKey(table, id string) string { return table + "/" + id }
+
+// RecordPath is the REST resource path of a record.
+func RecordPath(table, id string) string { return "/v1/db/" + table + "/" + id }
+
+// EBFSnapshot returns the current aggregated filter for piggybacking.
+func (s *Server) EBFSnapshot() ebf.Snapshot {
+	return s.coh.Snapshot()
+}
+
+// TableCoherence is the optional per-table snapshot surface; the default
+// *ebf.Partitioned coherence implements it.
+type TableCoherence interface {
+	SnapshotTable(table string) ebf.Snapshot
+}
+
+// EBFTableSnapshot returns one table's filter partition, falling back to
+// the aggregate when the coherence layer is not partitioned.
+func (s *Server) EBFTableSnapshot(table string) ebf.Snapshot {
+	if tc, ok := s.coh.(TableCoherence); ok {
+		return tc.SnapshotTable(table)
+	}
+	return s.coh.Snapshot()
+}
+
+// ReadResult carries a record read plus its caching metadata.
+type ReadResult struct {
+	Doc  *document.Document
+	TTL  time.Duration
+	ETag string
+}
+
+// Read serves a record with its estimated TTL and reports the issued
+// expiration to the EBF.
+func (s *Server) Read(table, id string) (ReadResult, error) {
+	doc, err := s.db.Get(table, id)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	s.reads.Add(1)
+	key := RecordKey(table, id)
+	dur := s.recordTTL(key)
+	if s.cacheable() && dur > 0 {
+		s.coh.ReportRead(key, dur)
+	}
+	return ReadResult{Doc: doc, TTL: dur, ETag: etagFor(doc.Version)}, nil
+}
+
+func (s *Server) recordTTL(key string) time.Duration {
+	if !s.cacheable() {
+		return 0
+	}
+	return s.est.RecordTTL(key)
+}
+
+func (s *Server) cacheable() bool { return s.opts.Mode != ModeUncached }
+
+func etagFor(version int64) string { return fmt.Sprintf("\"v%d\"", version) }
+
+// QueryResult carries a query response plus its caching metadata.
+type QueryResult struct {
+	// Docs is populated for object-list results; IDs always holds the
+	// ordered record ids.
+	Docs           []*document.Document
+	IDs            []string
+	Representation ttl.Representation
+	TTL            time.Duration
+	ETag           string
+	// Cacheable is false when admission control rejected the query; the
+	// HTTP layer then emits no-store.
+	Cacheable bool
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Query evaluates q, decides its representation and TTL, registers it for
+// invalidation detection and reports the issued TTL to the EBF — steps (2)
+// in the end-to-end example of Figure 7.
+func (s *Server) Query(q *query.Query) (QueryResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return QueryResult{}, ErrClosed
+	}
+	s.mu.Unlock()
+
+	// Capture the change-stream position before evaluating so activation
+	// can replay the gap.
+	asOf := s.db.LastSeq()
+	docs, err := s.db.Query(q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	s.queries.Add(1)
+
+	key := q.Key()
+	ids := make([]string, len(docs))
+	recordKeys := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.ID
+		recordKeys[i] = RecordKey(q.Table, d.ID)
+	}
+	res := QueryResult{Docs: docs, IDs: ids, ETag: resultETag(q, docs)}
+
+	if !s.cacheable() {
+		res.Representation = ttl.ObjectList
+		return res, nil
+	}
+
+	rep := s.chooseRepresentation(recordKeys)
+	dur := s.est.QueryTTL(key, recordKeys)
+	admitted := s.active.Admit(key, dur, recordKeys, rep)
+	if !admitted {
+		s.rejected.Add(1)
+		res.Representation = rep
+		return res, nil
+	}
+
+	if err := s.activateIfNeeded(q, asOf, rep); err != nil {
+		// Capacity exhausted in InvaliDB: serve uncached rather than risk
+		// stale results without invalidation detection.
+		if errors.Is(err, invalidb.ErrAtCapacity) {
+			s.active.Remove(key)
+			s.rejected.Add(1)
+			res.Representation = rep
+			return res, nil
+		}
+		return QueryResult{}, err
+	}
+
+	s.coh.ReportRead(key, dur)
+	if rep == ttl.ObjectList {
+		// Per-record entries also land in caches; report their TTLs so the
+		// EBF can cover them (reads of members get hits "by side effect").
+		for _, rk := range recordKeys {
+			s.coh.ReportRead(rk, dur)
+		}
+	}
+	res.Representation = rep
+	res.TTL = dur
+	res.Cacheable = true
+	return res, nil
+}
+
+// chooseRepresentation applies the configured policy.
+func (s *Server) chooseRepresentation(recordKeys []string) ttl.Representation {
+	switch s.opts.Representation {
+	case RepAlwaysObjects:
+		return ttl.ObjectList
+	case RepAlwaysIDs:
+		return ttl.IDList
+	}
+	var changeRate float64
+	for _, rk := range recordKeys {
+		changeRate += s.est.WriteRate(rk)
+	}
+	return ttl.ChooseRepresentation(ttl.RepresentationCost{
+		ResultSize: len(recordKeys),
+		ChangeRate: changeRate,
+		// Membership changes are a fraction of all writes; most updates
+		// modify contained objects in place (the paper's change events).
+		MembershipRate: changeRate * 0.3,
+		RecordHitRate:  0.8,
+	})
+}
+
+// activateIfNeeded registers the query in InvaliDB exactly once.
+func (s *Server) activateIfNeeded(q *query.Query, asOf uint64, rep ttl.Representation) error {
+	key := q.Key()
+	s.mu.Lock()
+	if s.registered[key] {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	// InvaliDB needs the full predicate-level match set (for stateful
+	// queries the unwindowed set); evaluate without window clauses.
+	matches, err := s.db.Query(query.New(q.Table, q.Predicate))
+	if err != nil {
+		return err
+	}
+	mask := invalidb.MaskObjectList
+	if rep == ttl.IDList {
+		mask = invalidb.MaskIDList
+	}
+	err = s.inv.Activate(invalidb.Registration{
+		Query:          q,
+		Mask:           mask,
+		InitialMatches: matches,
+		AsOfSeq:        asOf,
+		Replay:         s.db.Replay(q.Table, asOf),
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.registered[key] = true
+	s.mu.Unlock()
+	s.queryActivations.Add(1)
+	return nil
+}
+
+// RegisterQueryPath remembers the REST path serving a query so purges can
+// reach the right CDN entry. The HTTP layer calls this on each query.
+func (s *Server) RegisterQueryPath(queryKey, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queryPaths[queryKey] = path
+}
+
+// Insert writes a new document (after schema validation) and runs
+// record-level invalidation.
+func (s *Server) Insert(table string, doc *document.Document) error {
+	if err := s.validateDoc(table, doc); err != nil {
+		return err
+	}
+	if err := s.db.Insert(table, doc); err != nil {
+		return err
+	}
+	s.afterWrite(table, doc.ID)
+	return nil
+}
+
+// Put upserts a full document (after schema validation) and runs
+// record-level invalidation.
+func (s *Server) Put(table string, doc *document.Document) error {
+	if err := s.validateDoc(table, doc); err != nil {
+		return err
+	}
+	if err := s.db.Put(table, doc); err != nil {
+		return err
+	}
+	s.afterWrite(table, doc.ID)
+	return nil
+}
+
+// Update applies a partial update and runs record-level invalidation.
+func (s *Server) Update(table, id string, spec store.UpdateSpec) (*document.Document, error) {
+	doc, err := s.db.Update(table, id, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.afterWrite(table, id)
+	return doc, nil
+}
+
+// Delete removes a document and runs record-level invalidation.
+func (s *Server) Delete(table, id string) error {
+	if err := s.db.Delete(table, id); err != nil {
+		return err
+	}
+	s.afterWrite(table, id)
+	return nil
+}
+
+// afterWrite samples the write rate and invalidates the record's own cache
+// entries. Query-level invalidation arrives asynchronously from InvaliDB.
+func (s *Server) afterWrite(table, id string) {
+	s.writes.Add(1)
+	key := RecordKey(table, id)
+	s.est.ObserveWrite(key)
+	if s.coh.ReportWrite(key) {
+		s.schedulePurge(RecordPath(table, id))
+	}
+}
+
+// notificationLoop consumes InvaliDB events: every notification marks the
+// query stale in the EBF, purges invalidation-based caches and feeds the
+// observed actual TTL into the estimator's EWMA (Figure 7, step 4).
+func (s *Server) notificationLoop() {
+	defer close(s.notifyDone)
+	for n := range s.inv.Notifications() {
+		s.invalidations.Add(1)
+		if s.coh.ReportWrite(n.QueryKey) {
+			s.mu.Lock()
+			path := s.queryPaths[n.QueryKey]
+			s.mu.Unlock()
+			if path != "" {
+				s.schedulePurge(path)
+			}
+		}
+		if actual, active := s.active.Invalidated(n.QueryKey); active {
+			s.est.ObserveInvalidation(n.QueryKey, actual)
+		}
+		s.fanOutToSubscribers(n)
+	}
+}
+
+func (s *Server) schedulePurge(path string) {
+	s.mu.Lock()
+	purgers := append([]Purger(nil), s.purgers...)
+	s.mu.Unlock()
+	if len(purgers) == 0 {
+		return
+	}
+	doPurge := func() {
+		for _, p := range purgers {
+			p.PurgeKey(path)
+		}
+		s.purges.Add(1)
+	}
+	if s.opts.InvalidationDelay > 0 {
+		time.AfterFunc(s.opts.InvalidationDelay, doPurge)
+		return
+	}
+	doPurge()
+}
+
+// resultETag derives a deterministic version tag for a query result from
+// the member versions.
+func resultETag(q *query.Query, docs []*document.Document) string {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(q.Key())
+	for _, d := range docs {
+		mix(d.ID)
+		mix(fmt.Sprintf("#%d", d.Version))
+	}
+	return fmt.Sprintf("\"q%x\"", h)
+}
+
+// CacheControl renders the response caching headers for the server's mode:
+// (browserTTL, cdnTTL) pairs per mode as described on CacheMode.
+func (s *Server) CacheControl(dur time.Duration) (browserTTL, cdnTTL time.Duration) {
+	switch s.opts.Mode {
+	case ModeFull:
+		return dur, dur
+	case ModeCDNOnly:
+		return 0, dur
+	case ModeClientOnly:
+		return dur, 0
+	default:
+		return 0, 0
+	}
+}
+
+// Mode returns the configured cache mode.
+func (s *Server) Mode() CacheMode { return s.opts.Mode }

@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"time"
+
+	"quaestor/internal/cache"
+	"quaestor/internal/ebf"
+	"quaestor/internal/ttl"
+	"quaestor/internal/workload"
+)
+
+// simClient models one client instance: a browser cache, an EBF view with
+// the configured refresh interval, and a workload generator. Each of its
+// connections runs a closed loop: finish one operation, immediately start
+// the next.
+type simClient struct {
+	s     *Sim
+	id    int
+	gen   *workload.Generator
+	local *cache.Cache
+	view  *ebf.ClientView
+}
+
+// clientRecord / clientQuery are browser-cache payload stand-ins carrying
+// the version information needed for exact staleness accounting. Id-list
+// payloads additionally carry the member ids for assembly.
+type clientRecord struct{ version int64 }
+
+type clientQuery struct {
+	membershipVersion uint64
+	contentVersion    uint64
+	rep               ttl.Representation
+	memberIDs         []string // id-list only
+}
+
+func newSimClient(s *Sim, id int) *simClient {
+	c := &simClient{
+		s:     s,
+		id:    id,
+		gen:   workload.NewGenerator(s.world.ds, s.cfg.Mix, s.cfg.ZipfS, s.cfg.Seed+int64(id)*7919),
+		local: cache.New(cache.ExpirationBased, 0, s.Clock()),
+	}
+	if s.world.useClientCache() && !s.cfg.DisableEBF {
+		c.view = ebf.NewClientView(s.world.coh.Snapshot())
+	}
+	return c
+}
+
+// step executes one operation for one connection and schedules the next.
+func (c *simClient) step() {
+	op := c.gen.Next()
+	var latency time.Duration
+	switch op.Type {
+	case workload.OpRead:
+		latency = c.doRead(op)
+	case workload.OpQuery:
+		latency = c.doQuery(op)
+	case workload.OpUpdate, workload.OpInsert, workload.OpDelete:
+		latency = c.doWrite(op)
+	}
+	c.s.ops++
+	c.s.met.Ops++
+	// Closed loop: the next request starts when this one completes, plus
+	// optional exponentially distributed think time.
+	delay := latency
+	if tt := c.s.cfg.ThinkTime; tt > 0 {
+		delay += time.Duration(c.s.rand.ExpFloat64() * float64(tt))
+	}
+	c.s.after(delay, func() { c.step() })
+}
+
+// maybeRefreshEBF implements the client freshness policy: the first
+// operation after Δ refreshes the filter and revalidates (drops) local
+// entries the new filter flags as stale.
+func (c *simClient) maybeRefreshEBF() {
+	if c.view == nil {
+		return
+	}
+	if c.view.Age(c.s.now) < c.s.cfg.EBFRefresh {
+		return
+	}
+	snap := c.s.world.coh.Snapshot()
+	c.view.Refresh(snap)
+	for _, key := range c.local.Keys() {
+		if snap.Contains(key) {
+			c.local.Invalidate(key)
+		}
+	}
+}
+
+func (c *simClient) isStale(key string) bool {
+	if c.view == nil {
+		return false
+	}
+	return c.view.IsStale(key)
+}
+
+// recordStaleness accounts one stale response.
+func (c *simClient) recordStaleness(isQuery, fromCDN bool, since time.Time) {
+	m := c.s.met
+	if isQuery {
+		m.StaleQueries++
+	} else {
+		m.StaleReads++
+	}
+	if fromCDN {
+		m.StaleCDNServes++
+	}
+	staleness := c.s.now.Sub(since)
+	if staleness < 0 {
+		staleness = 0
+	}
+	m.StalenessEvents++
+	m.StalenessSum += staleness
+	if staleness > m.MaxStaleness {
+		m.MaxStaleness = staleness
+	}
+}
+
+// doRead executes one record read and returns its end-to-end latency.
+func (c *simClient) doRead(op workload.Op) time.Duration {
+	w := c.s.world
+	m := c.s.met
+	m.Reads++
+	c.maybeRefreshEBF()
+	key := recordKey(op.Table, op.DocID)
+	doc := w.docs[op.Table][op.DocID]
+
+	revalidate := c.isStale(key)
+	// 1. Browser cache.
+	if !revalidate && w.useClientCache() {
+		if entry, ok := c.local.Get(key); ok {
+			m.ClientHitsReads++
+			cr := entry.Value.(clientRecord)
+			if doc != nil && cr.version < doc.version {
+				c.recordStaleness(false, false, doc.lastWrite)
+			}
+			lat := c.s.cfg.ClientHitCost
+			m.ReadLatency.Observe(lat)
+			return lat
+		}
+	}
+	// 2. CDN. Revalidations may also be answered here: invalidation-based
+	// caches are purge-maintained, so a present entry is trustworthy —
+	// the paper's Δ−Δ_invalidation offloading optimization (Section 3.2).
+	if w.useCDN() {
+		if entry, ok := w.cdn.Get(key); ok {
+			m.CDNHitsReads++
+			cr := entry.Value.(cdnRecord)
+			if doc != nil && cr.version < doc.version {
+				c.recordStaleness(false, true, doc.lastWrite)
+			}
+			lat := c.s.cfg.ClientCDNRTT + w.cdnDelay()
+			// Fill the browser cache for the entry's remaining lifetime.
+			if w.useClientCache() {
+				if remaining := entry.ExpiresAt.Sub(c.s.now); remaining > 0 {
+					c.local.Put(key, clientRecord{version: cr.version}, "", remaining)
+				}
+			}
+			if revalidate {
+				c.view.MarkRevalidated(key)
+			}
+			m.ReadLatency.Observe(lat)
+			return lat
+		}
+	}
+	// 3. Origin (miss or revalidation).
+	version, dur := w.serveRecordAtOrigin(op.Table, op.DocID)
+	if revalidate && c.view != nil {
+		c.view.MarkRevalidated(key)
+	}
+	if dur > 0 {
+		if w.useCDN() {
+			w.cdn.Put(key, cdnRecord{version: version}, "", dur)
+		}
+		if w.useClientCache() {
+			c.local.Put(key, clientRecord{version: version}, "", dur)
+		}
+	}
+	m.MissReads++
+	lat := c.s.cfg.ClientServerRTT + w.originDelay()
+	m.ReadLatency.Observe(lat)
+	return lat
+}
+
+// doQuery executes one query and returns its end-to-end latency.
+func (c *simClient) doQuery(op workload.Op) time.Duration {
+	w := c.s.world
+	m := c.s.met
+	m.Queries++
+	c.maybeRefreshEBF()
+	sq := w.registerQuery(op.Query)
+	key := sq.key
+
+	revalidate := c.isStale(key)
+	// 1. Browser cache.
+	if !revalidate && w.useClientCache() {
+		if entry, ok := c.local.Get(key); ok {
+			m.ClientHitsQueries++
+			cq := entry.Value.(clientQuery)
+			stale := cq.contentVersion < sq.contentVersion
+			if cq.rep == ttl.IDList {
+				stale = cq.membershipVersion < sq.membershipVersion
+			}
+			if stale {
+				c.recordStaleness(true, false, sq.lastChange)
+			}
+			lat := c.s.cfg.ClientHitCost
+			lat += c.assemble(sq, cq.rep, cq.memberIDs)
+			m.QueryLatency.Observe(lat)
+			return lat
+		}
+	}
+	// 2. CDN — also answers revalidations (see doRead).
+	if w.useCDN() {
+		if entry, ok := w.cdn.Get(key); ok {
+			m.CDNHitsQueries++
+			cq := entry.Value.(cdnQuery)
+			stale := cq.contentVersion < sq.contentVersion
+			if cq.rep == ttl.IDList {
+				stale = cq.membershipVersion < sq.membershipVersion
+			}
+			if stale {
+				c.recordStaleness(true, true, sq.lastChange)
+			}
+			lat := c.s.cfg.ClientCDNRTT + w.cdnDelay()
+			if w.useClientCache() {
+				if remaining := entry.ExpiresAt.Sub(c.s.now); remaining > 0 {
+					c.local.Put(key, clientQuery{
+						membershipVersion: cq.membershipVersion,
+						contentVersion:    cq.contentVersion,
+						rep:               cq.rep,
+						memberIDs:         cq.memberIDs,
+					}, "", remaining)
+				}
+			}
+			if revalidate {
+				c.view.MarkRevalidated(key)
+			}
+			lat += c.assemble(sq, cq.rep, cq.memberIDs)
+			m.QueryLatency.Observe(lat)
+			return lat
+		}
+	}
+	// 3. Origin.
+	dur := w.serveQueryAtOrigin(sq)
+	if revalidate && c.view != nil {
+		c.view.MarkRevalidated(key)
+	}
+	var memberIDs []string
+	if sq.rep == ttl.IDList {
+		memberIDs = make([]string, 0, len(sq.members))
+		for id := range sq.members {
+			memberIDs = append(memberIDs, id)
+		}
+	}
+	if dur > 0 {
+		if w.useCDN() {
+			w.cdn.Put(key, cdnQuery{
+				membershipVersion: sq.membershipVersion,
+				contentVersion:    sq.contentVersion,
+				rep:               sq.rep,
+				memberIDs:         memberIDs,
+			}, "", dur)
+		}
+		if w.useClientCache() {
+			c.local.Put(key, clientQuery{
+				membershipVersion: sq.membershipVersion,
+				contentVersion:    sq.contentVersion,
+				rep:               sq.rep,
+				memberIDs:         memberIDs,
+			}, "", dur)
+			if sq.rep == ttl.ObjectList {
+				// Object-list members fill per-record entries by side effect
+				// with the query's TTL.
+				for id := range sq.members {
+					if doc := w.docs[sq.table][id]; doc != nil {
+						c.local.Put(recordKey(sq.table, id), clientRecord{version: doc.version}, "", dur)
+					}
+				}
+			}
+		}
+	}
+	m.MissQueries++
+	lat := c.s.cfg.ClientServerRTT + w.originDelay()
+	if sq.rep == ttl.IDList {
+		lat += c.assemble(sq, ttl.IDList, memberIDs)
+	}
+	m.QueryLatency.Observe(lat)
+	return lat
+}
+
+// assemble models fetching an id-list result's member records through the
+// cache hierarchy: members already in the browser cache are free, a batch
+// of CDN fetches costs one parallel CDN round-trip, and members absent
+// from the CDN cost one parallel origin round (plus per-member origin
+// capacity). Object-list results need no assembly.
+func (c *simClient) assemble(sq *simQuery, rep ttl.Representation, memberIDs []string) time.Duration {
+	if rep != ttl.IDList || len(memberIDs) == 0 {
+		return 0
+	}
+	w := c.s.world
+	var fromCDN, fromOrigin int
+	var lat time.Duration
+	for _, id := range memberIDs {
+		rk := recordKey(sq.table, id)
+		if w.useClientCache() {
+			if _, ok := c.local.Get(rk); ok {
+				continue
+			}
+		}
+		if w.useCDN() {
+			if entry, ok := w.cdn.Get(rk); ok {
+				fromCDN++
+				if w.useClientCache() {
+					if remaining := entry.ExpiresAt.Sub(c.s.now); remaining > 0 {
+						cr := entry.Value.(cdnRecord)
+						c.local.Put(rk, clientRecord{version: cr.version}, "", remaining)
+					}
+				}
+				continue
+			}
+		}
+		fromOrigin++
+		version, rttl := w.serveRecordAtOrigin(sq.table, id)
+		lat += w.originDelay() / 4 // members pipeline over parallel connections
+		if rttl > 0 {
+			if w.useCDN() {
+				w.cdn.Put(rk, cdnRecord{version: version}, "", rttl)
+			}
+			if w.useClientCache() {
+				c.local.Put(rk, clientRecord{version: version}, "", rttl)
+			}
+		}
+	}
+	if fromCDN > 0 {
+		lat += c.s.cfg.ClientCDNRTT // one parallel batch round to the edge
+	}
+	if fromOrigin > 0 {
+		lat += c.s.cfg.ClientServerRTT // one parallel batch round to origin
+	}
+	c.s.met.AssemblyFetches += uint64(fromCDN + fromOrigin)
+	return lat
+}
+
+// doWrite executes one update and returns its latency. The client drops the
+// record from its own cache (read-your-writes), which also bounds
+// client-side staleness as the paper notes.
+func (c *simClient) doWrite(op workload.Op) time.Duration {
+	w := c.s.world
+	c.s.met.Writes++
+	tag := op.UpdateTag
+	if tag == "" {
+		tag = "tag00000"
+	}
+	if op.Type == workload.OpUpdate {
+		w.applyUpdate(op.Table, op.DocID, tag)
+	}
+	// Inserts/deletes against synthetic ids are modelled as updates to keep
+	// the corpus size constant, matching the paper's stable 10k/table setup.
+	key := recordKey(op.Table, op.DocID)
+	c.local.Invalidate(key)
+	return c.s.cfg.ClientServerRTT + w.originDelay()
+}

@@ -1,0 +1,355 @@
+// Package sim implements the Monte Carlo simulation framework the paper
+// uses to analyze staleness and cache behaviour (Section 6.1): "Simulation
+// is the most reliable method to analyze properties like staleness as it
+// provides globally ordered event time stamps for each operation and does
+// not rely on error-prone clock synchronization."
+//
+// The simulator is a single-threaded discrete-event loop over a virtual
+// clock. It wires the *real* production components — the Expiring Bloom
+// Filter, client views with whitelisting, the TTL estimator, the active
+// list and the web-cache implementations — to simulated clients, a
+// simulated CDN and a capacity-constrained origin, with the paper's
+// measured latency constants (client↔server 145 ms, client↔CDN 4 ms,
+// client-cache hits free). Invalidation detection is performed
+// synchronously on each write with a configurable detection delay,
+// semantically equivalent to the InvaliDB pipeline whose notification
+// latencies are 1–5 orders of magnitude below the modelled RTTs.
+//
+// Approximations (documented in DESIGN.md): operations are evaluated
+// atomically at their start time and charged their end-to-end latency;
+// cache fills take effect at evaluation time. Staleness is measured
+// exactly: every response served from any cache is compared against the
+// globally current version at serve time.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"quaestor/internal/cache"
+	"quaestor/internal/ebf"
+	"quaestor/internal/metrics"
+	"quaestor/internal/server"
+	"quaestor/internal/ttl"
+	"quaestor/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Dataset sizes the corpus (nil = paper defaults: 10×10k docs,
+	// 100 queries/table).
+	Dataset *workload.DatasetConfig
+	// Mix is the operation distribution (zero value = ReadHeavy).
+	Mix workload.Mix
+	// ZipfS is the access-skew exponent (default 0.7; the document-count
+	// experiment uses 0.99).
+	ZipfS float64
+	// Clients is the number of client instances; ConnsPerClient the
+	// parallel closed-loop connections each runs (paper: 10×300 under
+	// load, 100×6 for staleness).
+	Clients        int
+	ConnsPerClient int
+	// Duration is the simulated wall-clock span.
+	Duration time.Duration
+	// EBFRefresh is Δ, the client filter refresh interval (default 1s).
+	EBFRefresh time.Duration
+	// Mode selects the caching baseline.
+	Mode server.CacheMode
+	// Latency constants. Defaults: server RTT 145ms, CDN RTT 4ms.
+	ClientServerRTT time.Duration
+	ClientCDNRTT    time.Duration
+	// InvalidationLatency is the delay between a write and the purge/EBF
+	// update it triggers (InvaliDB detection + purge propagation;
+	// default 30ms, which keeps CDN staleness below 0.1% as measured).
+	InvalidationLatency time.Duration
+	// ClientHitCost is the local-cache lookup cost (browser processing;
+	// default 0.5ms). It keeps closed-loop throughput finite.
+	ClientHitCost time.Duration
+	// ThinkTime is the mean exponentially distributed pause between a
+	// response and the connection's next request. Zero (the default) is
+	// the YCSB-style closed loop used for the throughput experiments;
+	// browser-like workloads (Figure 10's 100×6 setup, the flash crowd)
+	// set a positive think time.
+	ThinkTime time.Duration
+	// ServerRate is the origin's aggregate service capacity in ops/s
+	// (default 12,000 — 3 Quaestor servers on a 2-shard MongoDB). CDNRate
+	// is the edge capacity (default 200,000).
+	ServerRate float64
+	CDNRate    float64
+	// TTL tunes the estimator (nil = defaults).
+	TTL *ttl.Config
+	// EBFBits/EBFHashes size the filter (0 = paper defaults).
+	EBFBits   uint32
+	EBFHashes uint32
+	// DisableEBF turns off client staleness checks (static-TTL straw man;
+	// also used for the CDN-only baseline).
+	DisableEBF bool
+	// Representation selects how query results are materialized:
+	// object-lists (default), id-lists, or the cost-based model.
+	Representation server.RepresentationPolicy
+	// Seed fixes all randomness.
+	Seed int64
+	// MaxOps bounds the number of simulated operations (0 = unlimited;
+	// the run always stops at Duration).
+	MaxOps uint64
+}
+
+func (c *Config) withDefaults() Config {
+	cp := *c
+	if cp.Mix.Read == 0 && cp.Mix.Query == 0 && cp.Mix.Insert == 0 && cp.Mix.Update == 0 && cp.Mix.Delete == 0 {
+		cp.Mix = workload.ReadHeavy
+	}
+	if cp.ZipfS == 0 {
+		cp.ZipfS = 0.7
+	}
+	if cp.Clients <= 0 {
+		cp.Clients = 10
+	}
+	if cp.ConnsPerClient <= 0 {
+		cp.ConnsPerClient = 30
+	}
+	if cp.Duration <= 0 {
+		cp.Duration = 60 * time.Second
+	}
+	if cp.EBFRefresh <= 0 {
+		cp.EBFRefresh = time.Second
+	}
+	if cp.ClientServerRTT <= 0 {
+		cp.ClientServerRTT = 145 * time.Millisecond
+	}
+	if cp.ClientCDNRTT <= 0 {
+		cp.ClientCDNRTT = 4 * time.Millisecond
+	}
+	if cp.InvalidationLatency <= 0 {
+		cp.InvalidationLatency = 30 * time.Millisecond
+	}
+	if cp.ClientHitCost <= 0 {
+		cp.ClientHitCost = 500 * time.Microsecond
+	}
+	if cp.ServerRate <= 0 {
+		cp.ServerRate = 12000
+	}
+	if cp.CDNRate <= 0 {
+		cp.CDNRate = 200000
+	}
+	if cp.Seed == 0 {
+		cp.Seed = 42
+	}
+	return cp
+}
+
+// Metrics aggregates one run's measurements.
+type Metrics struct {
+	Ops     uint64
+	Reads   uint64
+	Queries uint64
+	Writes  uint64
+
+	// Latency histograms per operation class (milliseconds).
+	ReadLatency  *metrics.Histogram
+	QueryLatency *metrics.Histogram
+
+	// Where responses were served from.
+	ClientHitsReads   uint64
+	ClientHitsQueries uint64
+	CDNHitsReads      uint64
+	CDNHitsQueries    uint64
+	MissReads         uint64
+	MissQueries       uint64
+
+	// Staleness: responses older than the globally current version.
+	StaleReads      uint64
+	StaleQueries    uint64
+	StaleCDNServes  uint64 // stale responses that came from the CDN
+	MaxStaleness    time.Duration
+	StalenessSum    time.Duration
+	StalenessEvents uint64
+
+	// TTL estimation quality (Figure 11).
+	EstimatedTTLs *metrics.Histogram // issued TTLs, in ms
+	TrueTTLs      *metrics.Histogram // observed read→invalidation spans
+
+	// AssemblyFetches counts id-list member fetches that left the browser
+	// cache (the representation trade-off's round-trip cost).
+	AssemblyFetches uint64
+
+	// Throughput in completed ops per simulated second.
+	Throughput float64
+
+	// SimulatedDuration is the virtual span actually covered.
+	SimulatedDuration time.Duration
+
+	// EBFStats snapshots the server-side filter at the end of the run.
+	EBFStats ebf.Stats
+}
+
+// ClientHitRate returns the client-cache hit fraction for the class.
+func (m *Metrics) ClientHitRate(queries bool) float64 {
+	if queries {
+		return rate(m.ClientHitsQueries, m.Queries)
+	}
+	return rate(m.ClientHitsReads, m.Reads)
+}
+
+// CDNHitRate returns the CDN's hit fraction among the requests that
+// reached it (i.e. that the client cache did not absorb) — the quantity
+// Figure 8e plots.
+func (m *Metrics) CDNHitRate(queries bool) float64 {
+	if queries {
+		return rate(m.CDNHitsQueries, m.CDNHitsQueries+m.MissQueries)
+	}
+	return rate(m.CDNHitsReads, m.CDNHitsReads+m.MissReads)
+}
+
+// StaleRate returns the stale-response fraction for the class.
+func (m *Metrics) StaleRate(queries bool) float64 {
+	if queries {
+		return rate(m.StaleQueries, m.Queries)
+	}
+	return rate(m.StaleReads, m.Reads)
+}
+
+func rate(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// event is one scheduled simulation action.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	cfg  Config
+	rand *rand.Rand
+
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	stopAt time.Time
+
+	world   *world
+	clients []*simClient
+	met     *Metrics
+	ops     uint64
+}
+
+// New builds a simulation (without running it).
+func New(cfg *Config) *Sim {
+	c := cfg.withDefaults()
+	start := time.Unix(0, 0).UTC()
+	s := &Sim{
+		cfg:    c,
+		rand:   rand.New(rand.NewSource(c.Seed)),
+		now:    start,
+		stopAt: start.Add(c.Duration),
+		met: &Metrics{
+			ReadLatency:   metrics.NewHistogram(),
+			QueryLatency:  metrics.NewHistogram(),
+			EstimatedTTLs: metrics.NewHistogram(),
+			TrueTTLs:      metrics.NewHistogram(),
+		},
+	}
+	s.world = newWorld(s, &c)
+	for i := 0; i < c.Clients; i++ {
+		s.clients = append(s.clients, newSimClient(s, i))
+	}
+	return s
+}
+
+// Clock returns the virtual time source shared by all components.
+func (s *Sim) Clock() func() time.Time {
+	return func() time.Time { return s.now }
+}
+
+// schedule enqueues fn at the given virtual time.
+func (s *Sim) schedule(at time.Time, fn func()) {
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// after enqueues fn delay after now.
+func (s *Sim) after(delay time.Duration, fn func()) {
+	s.schedule(s.now.Add(delay), fn)
+}
+
+// Run executes the event loop until the configured duration elapses and
+// returns the collected metrics.
+func Run(cfg *Config) *Metrics {
+	s := New(cfg)
+	return s.Run()
+}
+
+// Run executes the simulation.
+func (s *Sim) Run() *Metrics {
+	// Kick off every connection's closed loop.
+	for _, cl := range s.clients {
+		for conn := 0; conn < s.cfg.ConnsPerClient; conn++ {
+			// Jitter start times so connections do not phase-lock.
+			delay := time.Duration(s.rand.Int63n(int64(10 * time.Millisecond)))
+			client := cl
+			s.after(delay, func() { client.step() })
+		}
+	}
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.at.After(s.stopAt) {
+			break
+		}
+		s.now = ev.at
+		ev.fn()
+		if s.cfg.MaxOps > 0 && s.ops >= s.cfg.MaxOps {
+			break
+		}
+	}
+	elapsed := s.now.Sub(time.Unix(0, 0).UTC())
+	if elapsed <= 0 {
+		elapsed = time.Millisecond
+	}
+	s.met.SimulatedDuration = elapsed
+	s.met.Throughput = float64(s.met.Ops) / elapsed.Seconds()
+	s.met.EBFStats = s.world.coh.Stats()
+	return s.met
+}
+
+// queueServer charges one request against a rate-limited resource and
+// returns the added queueing + service delay. busyUntil tracks the
+// resource's backlog; the M/D/1-style model saturates throughput exactly
+// when arrival rate exceeds the configured capacity.
+func queueDelay(now time.Time, busyUntil *time.Time, rate float64) time.Duration {
+	service := time.Duration(float64(time.Second) / rate)
+	start := now
+	if busyUntil.After(start) {
+		start = *busyUntil
+	}
+	end := start.Add(service)
+	*busyUntil = end
+	return end.Sub(now)
+}
+
+var _ = cache.ExpirationBased // cache is used by other files of this package

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"sync"
+)
+
+// changeStream fans change events out to subscribers and keeps a bounded
+// per-table replay ring for query activation.
+type changeStream struct {
+	mu      sync.Mutex
+	subs    map[int]chan ChangeEvent
+	nextID  int
+	buf     int
+	closed  bool
+	replayN int
+	replays map[string]*ring
+}
+
+type ring struct {
+	events []ChangeEvent
+	head   int // index of oldest
+	size   int
+}
+
+func newRing(capacity int) *ring {
+	return &ring{events: make([]ChangeEvent, capacity)}
+}
+
+func (r *ring) push(ev ChangeEvent) {
+	if len(r.events) == 0 {
+		return
+	}
+	idx := (r.head + r.size) % len(r.events)
+	if r.size == len(r.events) {
+		// Overwrite oldest.
+		r.events[r.head] = ev
+		r.head = (r.head + 1) % len(r.events)
+		return
+	}
+	r.events[idx] = ev
+	r.size++
+}
+
+func (r *ring) after(seq uint64) []ChangeEvent {
+	out := make([]ChangeEvent, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		ev := r.events[(r.head+i)%len(r.events)]
+		if ev.Seq > seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func newChangeStream(buf, replayN int) *changeStream {
+	return &changeStream{
+		subs:    map[int]chan ChangeEvent{},
+		buf:     buf,
+		replayN: replayN,
+		replays: map[string]*ring{},
+	}
+}
+
+func (cs *changeStream) subscribe() (<-chan ChangeEvent, func()) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ch := make(chan ChangeEvent, cs.buf)
+	if cs.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := cs.nextID
+	cs.nextID++
+	cs.subs[id] = ch
+	cancel := func() {
+		cs.mu.Lock()
+		defer cs.mu.Unlock()
+		if c, ok := cs.subs[id]; ok {
+			delete(cs.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+func (cs *changeStream) publish(ev ChangeEvent) {
+	cs.mu.Lock()
+	if cs.closed {
+		cs.mu.Unlock()
+		return
+	}
+	r, ok := cs.replays[ev.Table]
+	if !ok {
+		r = newRing(cs.replayN)
+		cs.replays[ev.Table] = r
+	}
+	r.push(ev)
+	// Copy the subscriber set so a blocking send does not hold the lock
+	// against subscribe/cancel.
+	chans := make([]chan ChangeEvent, 0, len(cs.subs))
+	for _, ch := range cs.subs {
+		chans = append(chans, ch)
+	}
+	cs.mu.Unlock()
+
+	for _, ch := range chans {
+		func() {
+			defer func() { recover() }() // subscriber may have been closed concurrently
+			ch <- ev
+		}()
+	}
+}
+
+func (cs *changeStream) replay(tableName string, afterSeq uint64) []ChangeEvent {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	r, ok := cs.replays[tableName]
+	if !ok {
+		return nil
+	}
+	return r.after(afterSeq)
+}
+
+func (cs *changeStream) close() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return
+	}
+	cs.closed = true
+	for id, ch := range cs.subs {
+		delete(cs.subs, id)
+		close(ch)
+	}
+}

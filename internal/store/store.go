@@ -1,0 +1,492 @@
+// Package store implements Quaestor's underlying database: an in-memory,
+// hash-sharded document store standing in for the paper's MongoDB cluster.
+//
+// The store provides exactly the substrate surface Quaestor needs from its
+// database (Section 2 "Application model"): CRUD on rich nested documents,
+// evaluation of MongoDB-style queries, per-key monotonic writes, and a
+// change stream of write after-images that feeds the InvaliDB invalidation
+// pipeline. Documents are sharded by hashed primary key, mirroring the
+// paper's evaluation setup ("documents were sharded through their hashed
+// primary key").
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+)
+
+// Common errors returned by store operations.
+var (
+	ErrNotFound      = errors.New("store: document not found")
+	ErrExists        = errors.New("store: document already exists")
+	ErrNoTable       = errors.New("store: table does not exist")
+	ErrVersionCheck  = errors.New("store: version precondition failed")
+	ErrClosed        = errors.New("store: store is closed")
+	ErrEmptyID       = errors.New("store: document id must not be empty")
+	ErrEmptyTable    = errors.New("store: table name must not be empty")
+	ErrNilDocument   = errors.New("store: document must not be nil")
+	ErrBadUpdateSpec = errors.New("store: invalid update specification")
+)
+
+// OpType identifies the kind of write that produced a change event.
+type OpType int
+
+// Write operation kinds carried on the change stream.
+const (
+	OpInsert OpType = iota
+	OpUpdate
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// ChangeEvent is one write's after-image as published on the change stream.
+// For deletes, After carries the id with nil fields and Deleted is true.
+type ChangeEvent struct {
+	Seq     uint64 // global, strictly increasing sequence number
+	Table   string
+	Op      OpType
+	Deleted bool
+	// Before is the pre-image (nil for inserts). After is the after-image
+	// (content at Seq; for deletes only ID/Version are meaningful). Both
+	// are deep copies and safe to retain.
+	Before *document.Document
+	After  *document.Document
+	Time   time.Time
+}
+
+// Key returns the record's cache/EBF key ("table/id").
+func (e *ChangeEvent) Key() string { return e.Table + "/" + e.After.ID }
+
+const defaultShards = 16
+
+// Options configures a Store.
+type Options struct {
+	// ShardsPerTable is the number of hash partitions per table
+	// (default 16). More shards reduce write contention.
+	ShardsPerTable int
+	// ChangeBuffer is the per-subscriber channel buffer (default 1024).
+	ChangeBuffer int
+	// ReplayBuffer is how many recent change events are retained per table
+	// for replay when a query is activated in InvaliDB (default 4096).
+	ReplayBuffer int
+	// Clock supplies timestamps; defaults to time.Now. The Monte Carlo
+	// simulator injects a virtual clock here.
+	Clock func() time.Time
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{ShardsPerTable: defaultShards, ChangeBuffer: 1024, ReplayBuffer: 4096, Clock: time.Now}
+	if o == nil {
+		return out
+	}
+	if o.ShardsPerTable > 0 {
+		out.ShardsPerTable = o.ShardsPerTable
+	}
+	if o.ChangeBuffer > 0 {
+		out.ChangeBuffer = o.ChangeBuffer
+	}
+	if o.ReplayBuffer > 0 {
+		out.ReplayBuffer = o.ReplayBuffer
+	}
+	if o.Clock != nil {
+		out.Clock = o.Clock
+	}
+	return out
+}
+
+// Store is a sharded, thread-safe document database.
+type Store struct {
+	opts Options
+	seq  atomic.Uint64
+
+	mu     sync.RWMutex
+	tables map[string]*table
+	closed bool
+
+	stream *changeStream
+}
+
+type table struct {
+	name   string
+	shards []*shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*document.Document
+}
+
+// Open creates an empty store. A nil opts uses defaults.
+func Open(opts *Options) *Store {
+	o := opts.withDefaults()
+	return &Store{
+		opts:   o,
+		tables: map[string]*table{},
+		stream: newChangeStream(o.ChangeBuffer, o.ReplayBuffer),
+	}
+}
+
+// Close shuts the store down and closes all change-stream subscriptions.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.stream.close()
+}
+
+// CreateTable creates a table; creating an existing table is a no-op.
+func (s *Store) CreateTable(name string) error {
+	if name == "" {
+		return ErrEmptyTable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return nil
+	}
+	t := &table{name: name, shards: make([]*shard, s.opts.ShardsPerTable)}
+	for i := range t.shards {
+		t.shards[i] = &shard{docs: map[string]*document.Document{}}
+	}
+	s.tables[name] = t
+	return nil
+}
+
+// Tables returns the sorted table names.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Store) table(name string) (*table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+func (t *table) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return t.shards[h.Sum32()%uint32(len(t.shards))]
+}
+
+// Insert stores a new document. It fails with ErrExists when the id is
+// already present. The stored copy is independent of the caller's value.
+func (s *Store) Insert(tableName string, doc *document.Document) error {
+	if doc == nil {
+		return ErrNilDocument
+	}
+	if doc.ID == "" {
+		return ErrEmptyID
+	}
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	sh := t.shardFor(doc.ID)
+	sh.mu.Lock()
+	if _, ok := sh.docs[doc.ID]; ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s", ErrExists, tableName, doc.ID)
+	}
+	stored := doc.Clone()
+	stored.Version = 1
+	sh.docs[doc.ID] = stored
+	after := stored.Clone()
+	sh.mu.Unlock()
+
+	s.publish(ChangeEvent{Table: tableName, Op: OpInsert, After: after})
+	return nil
+}
+
+// Get returns a deep copy of the document, or ErrNotFound.
+func (s *Store) Get(tableName, id string) (*document.Document, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	sh := t.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	doc, ok := sh.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, id)
+	}
+	return doc.Clone(), nil
+}
+
+// Put replaces a document's fields wholesale, creating it if absent
+// (upsert). The version increments; per-key monotonic writes follow from
+// the shard lock serializing writers.
+func (s *Store) Put(tableName string, doc *document.Document) error {
+	if doc == nil {
+		return ErrNilDocument
+	}
+	if doc.ID == "" {
+		return ErrEmptyID
+	}
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	sh := t.shardFor(doc.ID)
+	sh.mu.Lock()
+	prev, existed := sh.docs[doc.ID]
+	stored := doc.Clone()
+	var before *document.Document
+	op := OpInsert
+	if existed {
+		before = prev.Clone()
+		stored.Version = prev.Version + 1
+		op = OpUpdate
+	} else {
+		stored.Version = 1
+	}
+	sh.docs[doc.ID] = stored
+	after := stored.Clone()
+	sh.mu.Unlock()
+
+	s.publish(ChangeEvent{Table: tableName, Op: op, Before: before, After: after})
+	return nil
+}
+
+// UpdateSpec describes a partial update.
+type UpdateSpec struct {
+	// Set assigns values at dotted paths.
+	Set map[string]any
+	// Unset removes dotted paths.
+	Unset []string
+	// Inc adds a numeric delta at dotted paths (missing paths start at 0).
+	Inc map[string]float64
+	// Push appends values to array fields (missing paths start empty).
+	Push map[string]any
+	// Pull removes all occurrences of a value from array fields.
+	Pull map[string]any
+	// IfVersion, when non-zero, makes the update conditional on the current
+	// version (optimistic concurrency; ErrVersionCheck on mismatch).
+	IfVersion int64
+}
+
+// Update applies a partial update and returns the after-image.
+func (s *Store) Update(tableName, id string, spec UpdateSpec) (*document.Document, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	sh := t.shardFor(id)
+	sh.mu.Lock()
+	prev, ok := sh.docs[id]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, id)
+	}
+	if spec.IfVersion != 0 && prev.Version != spec.IfVersion {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrVersionCheck, prev.Version, spec.IfVersion)
+	}
+	before := prev.Clone()
+	next := prev.Clone()
+	if err := applySpec(next, spec); err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	next.Version = prev.Version + 1
+	sh.docs[id] = next
+	after := next.Clone()
+	sh.mu.Unlock()
+
+	s.publish(ChangeEvent{Table: tableName, Op: OpUpdate, Before: before, After: after})
+	return after.Clone(), nil
+}
+
+func applySpec(doc *document.Document, spec UpdateSpec) error {
+	for path, v := range spec.Set {
+		if err := doc.Set(path, v); err != nil {
+			return fmt.Errorf("%w: set %q: %v", ErrBadUpdateSpec, path, err)
+		}
+	}
+	for _, path := range spec.Unset {
+		doc.Delete(path)
+	}
+	for path, delta := range spec.Inc {
+		cur, _ := doc.Get(path)
+		var base float64
+		switch n := cur.(type) {
+		case int64:
+			base = float64(n)
+		case float64:
+			base = n
+		case nil:
+			base = 0
+		default:
+			return fmt.Errorf("%w: inc %q: field is %T", ErrBadUpdateSpec, path, cur)
+		}
+		nv := base + delta
+		if nv == float64(int64(nv)) {
+			if err := doc.Set(path, int64(nv)); err != nil {
+				return err
+			}
+		} else if err := doc.Set(path, nv); err != nil {
+			return err
+		}
+	}
+	for path, v := range spec.Push {
+		cur, ok := doc.Get(path)
+		var arr []any
+		if ok {
+			a, isArr := cur.([]any)
+			if !isArr {
+				return fmt.Errorf("%w: push %q: field is %T", ErrBadUpdateSpec, path, cur)
+			}
+			arr = a
+		}
+		arr = append(arr, document.Normalize(v))
+		if err := doc.Set(path, arr); err != nil {
+			return err
+		}
+	}
+	for path, v := range spec.Pull {
+		cur, ok := doc.Get(path)
+		if !ok {
+			continue
+		}
+		arr, isArr := cur.([]any)
+		if !isArr {
+			return fmt.Errorf("%w: pull %q: field is %T", ErrBadUpdateSpec, path, cur)
+		}
+		norm := document.Normalize(v)
+		out := arr[:0]
+		for _, e := range arr {
+			if !document.DeepEqual(e, norm) {
+				out = append(out, e)
+			}
+		}
+		if err := doc.Set(path, append([]any(nil), out...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a document, returning ErrNotFound if absent.
+func (s *Store) Delete(tableName, id string) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	sh := t.shardFor(id)
+	sh.mu.Lock()
+	prev, ok := sh.docs[id]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, id)
+	}
+	delete(sh.docs, id)
+	before := prev.Clone()
+	sh.mu.Unlock()
+
+	tomb := &document.Document{ID: id, Version: before.Version + 1}
+	s.publish(ChangeEvent{Table: tableName, Op: OpDelete, Deleted: true, Before: before, After: tomb})
+	return nil
+}
+
+// Query evaluates q against its table and returns deep copies of the
+// matching documents in the query's order.
+func (s *Store) Query(q *query.Query) ([]*document.Document, error) {
+	t, err := s.table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	var candidates []*document.Document
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		for _, d := range sh.docs {
+			if q.Matches(d) {
+				candidates = append(candidates, d.Clone())
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return q.Apply(candidates), nil
+}
+
+// Count returns the number of documents in a table.
+func (s *Store) Count(tableName string) (int, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n, nil
+}
+
+func (s *Store) publish(ev ChangeEvent) {
+	ev.Seq = s.seq.Add(1)
+	ev.Time = s.opts.Clock()
+	s.stream.publish(ev)
+}
+
+// Subscribe registers a change-stream consumer receiving every write's
+// after-image, in sequence order. Cancel releases the subscription. A slow
+// consumer blocks writers once its buffer fills — InvaliDB's ingestion
+// workers drain continuously, mirroring the transactional pull in the paper.
+func (s *Store) Subscribe() (<-chan ChangeEvent, func()) {
+	return s.stream.subscribe()
+}
+
+// Replay returns the buffered recent change events for a table with
+// Seq > afterSeq, oldest first. InvaliDB replays these when activating a
+// query to close the gap between initial evaluation and activation
+// (Section 4.1: "all recently received objects are replayed for a query
+// when it is installed").
+func (s *Store) Replay(tableName string, afterSeq uint64) []ChangeEvent {
+	return s.stream.replay(tableName, afterSeq)
+}
+
+// LastSeq returns the sequence number of the most recent write.
+func (s *Store) LastSeq() uint64 { return s.seq.Load() }

@@ -1,0 +1,312 @@
+package ttl
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Representation selects how a cached query result is materialized
+// (Section 4.2 "Representing Query Results").
+type Representation int
+
+const (
+	// ObjectList caches the full documents with the query: one round-trip,
+	// but the result invalidates on add, remove AND change events.
+	ObjectList Representation = iota
+	// IDList caches only the record URLs: more round-trips to assemble, but
+	// only membership changes (add/remove) invalidate the result, and the
+	// per-record entries get cache hits "by side effect".
+	IDList
+)
+
+// String implements fmt.Stringer.
+func (r Representation) String() string {
+	if r == IDList {
+		return "id-list"
+	}
+	return "object-list"
+}
+
+// Entry is the active list's bookkeeping for one cached query ("the current
+// TTL estimate for a query is kept in a shared partitioned data structure
+// called the active list, which is accessed by all QUAESTOR nodes").
+type Entry struct {
+	QueryKey string
+	// LastReadAt is the timestamp of the most recent (re)read; the actual
+	// TTL at invalidation time is Invalidation − LastReadAt.
+	LastReadAt time.Time
+	// TTL is the expiration issued at the last read.
+	TTL time.Duration
+	// ResultKeys are the record keys of the current result set.
+	ResultKeys []string
+	// Representation chosen at last read.
+	Representation Representation
+	// Reads and Invalidations count activity for capacity scoring.
+	Reads         uint64
+	Invalidations uint64
+}
+
+// ActiveList is the shared, hash-partitioned registry of currently cached
+// queries, combined with the capacity management model (Section 4.1: "only
+// queries that are sufficiently cachable are admitted and prioritized based
+// on the costs of maintaining them").
+type ActiveList struct {
+	parts    []*alPart
+	capacity int // maximum admitted queries; 0 = unlimited
+	clock    func() time.Time
+
+	// admitMu serializes the admission decision so the capacity bound is
+	// strict even under concurrent admissions; total mirrors the summed
+	// partition sizes.
+	admitMu sync.Mutex
+	total   int
+}
+
+type alPart struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// NewActiveList creates a list with the given partition count and admission
+// capacity (0 = unlimited).
+func NewActiveList(partitions, capacity int, clock func() time.Time) *ActiveList {
+	if partitions < 1 {
+		partitions = 1
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	al := &ActiveList{parts: make([]*alPart, partitions), capacity: capacity, clock: clock}
+	for i := range al.parts {
+		al.parts[i] = &alPart{entries: map[string]*Entry{}}
+	}
+	return al
+}
+
+func (al *ActiveList) part(key string) *alPart {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return al.parts[h.Sum32()%uint32(len(al.parts))]
+}
+
+// Len returns the total number of active queries.
+func (al *ActiveList) Len() int {
+	n := 0
+	for _, p := range al.parts {
+		p.mu.Lock()
+		n += len(p.entries)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Admit registers (or refreshes) a query read, recording the issued TTL,
+// result keys and representation. It reports whether the query is admitted
+// to caching: when the list is at capacity, the query must beat the
+// lowest-value resident, which is then evicted.
+//
+// The value metric is reads per invalidation — a direct proxy for the
+// cache hit benefit versus the maintenance cost of matching the query in
+// InvaliDB and purging caches.
+func (al *ActiveList) Admit(queryKey string, ttl time.Duration, resultKeys []string, rep Representation) bool {
+	p := al.part(queryKey)
+	now := al.clock()
+	p.mu.Lock()
+	e, resident := p.entries[queryKey]
+	if resident {
+		e.LastReadAt = now
+		e.TTL = ttl
+		e.ResultKeys = resultKeys
+		e.Representation = rep
+		e.Reads++
+		p.mu.Unlock()
+		return true
+	}
+	p.mu.Unlock()
+
+	al.admitMu.Lock()
+	defer al.admitMu.Unlock()
+	// Re-check residency: a concurrent Admit may have inserted the key.
+	p.mu.Lock()
+	if e, resident := p.entries[queryKey]; resident {
+		e.Reads++
+		p.mu.Unlock()
+		return true
+	}
+	p.mu.Unlock()
+	if al.capacity > 0 && al.total >= al.capacity {
+		if !al.evictWorseThan(1.0) {
+			return false
+		}
+		al.total--
+	}
+	p.mu.Lock()
+	p.entries[queryKey] = &Entry{
+		QueryKey:       queryKey,
+		LastReadAt:     now,
+		TTL:            ttl,
+		ResultKeys:     resultKeys,
+		Representation: rep,
+		Reads:          1,
+	}
+	p.mu.Unlock()
+	al.total++
+	return true
+}
+
+// evictWorseThan removes the globally lowest-scoring entry if its score is
+// below threshold, returning whether an eviction happened.
+func (al *ActiveList) evictWorseThan(threshold float64) bool {
+	var victimPart *alPart
+	var victimKey string
+	victimScore := threshold
+	for _, p := range al.parts {
+		p.mu.Lock()
+		for k, e := range p.entries {
+			s := score(e)
+			if victimKey == "" || s < victimScore {
+				victimScore = s
+				victimKey = k
+				victimPart = p
+			}
+		}
+		p.mu.Unlock()
+	}
+	if victimPart == nil || victimKey == "" {
+		return false
+	}
+	victimPart.mu.Lock()
+	defer victimPart.mu.Unlock()
+	if _, ok := victimPart.entries[victimKey]; !ok {
+		return false
+	}
+	delete(victimPart.entries, victimKey)
+	return true
+}
+
+// score is reads per invalidation (a never-invalidated query scores as its
+// raw read count).
+func score(e *Entry) float64 {
+	if e.Invalidations == 0 {
+		return float64(e.Reads)
+	}
+	return float64(e.Reads) / float64(e.Invalidations)
+}
+
+// Get returns a copy of an entry, and whether the query is active.
+func (al *ActiveList) Get(queryKey string) (Entry, bool) {
+	p := al.part(queryKey)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[queryKey]
+	if !ok {
+		return Entry{}, false
+	}
+	cp := *e
+	cp.ResultKeys = append([]string(nil), e.ResultKeys...)
+	return cp, true
+}
+
+// Invalidated records that a query's cached result just became stale and
+// returns the entry's actual TTL (invalidation − last read) for the EWMA
+// update, plus whether the query was active.
+func (al *ActiveList) Invalidated(queryKey string) (actual time.Duration, wasActive bool) {
+	p := al.part(queryKey)
+	now := al.clock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[queryKey]
+	if !ok {
+		return 0, false
+	}
+	e.Invalidations++
+	return now.Sub(e.LastReadAt), true
+}
+
+// UpdateResult replaces the tracked result keys after a membership change.
+func (al *ActiveList) UpdateResult(queryKey string, resultKeys []string) {
+	p := al.part(queryKey)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[queryKey]; ok {
+		e.ResultKeys = resultKeys
+	}
+}
+
+// Remove deletes a query from the active list.
+func (al *ActiveList) Remove(queryKey string) {
+	al.admitMu.Lock()
+	defer al.admitMu.Unlock()
+	p := al.part(queryKey)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[queryKey]; ok {
+		delete(p.entries, queryKey)
+		al.total--
+	}
+}
+
+// Keys returns all active query keys (unordered).
+func (al *ActiveList) Keys() []string {
+	var out []string
+	for _, p := range al.parts {
+		p.mu.Lock()
+		for k := range p.entries {
+			out = append(out, k)
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// RepresentationCost captures the inputs to the id-list vs object-list
+// decision model.
+type RepresentationCost struct {
+	// ResultSize is the number of records in the result.
+	ResultSize int
+	// ChangeRate is the summed write rate (writes/s) of the result's
+	// records — drives object-list invalidations.
+	ChangeRate float64
+	// MembershipRate is the estimated rate of add/remove membership changes
+	// — invalidates both representations.
+	MembershipRate float64
+	// RecordHitRate is the probability a per-record fetch hits a cache when
+	// assembling an id-list result.
+	RecordHitRate float64
+	// RoundTripCost and InvalidationCost weight one extra client round-trip
+	// against one cache purge + recomputation, in arbitrary common units.
+	RoundTripCost    float64
+	InvalidationCost float64
+}
+
+// ChooseRepresentation implements the paper's cost-based decision between
+// object-lists and id-lists: "a cost-based decision model in order to weigh
+// fewer invalidations against fewer round-trips".
+//
+// Object-list pays invalidations at the full change rate (add/remove/change)
+// but assembles in one round-trip. Id-list pays invalidations only for
+// membership changes (add/remove) but needs one extra round-trip per
+// missing record. Choose the representation with lower expected cost per
+// cache lifetime.
+func ChooseRepresentation(c RepresentationCost) Representation {
+	if c.RoundTripCost <= 0 {
+		c.RoundTripCost = 1
+	}
+	if c.InvalidationCost <= 0 {
+		c.InvalidationCost = 1
+	}
+	if c.RecordHitRate < 0 {
+		c.RecordHitRate = 0
+	}
+	if c.RecordHitRate > 1 {
+		c.RecordHitRate = 1
+	}
+	objectCost := c.ChangeRate * c.InvalidationCost
+	extraFetches := float64(c.ResultSize) * (1 - c.RecordHitRate)
+	idCost := c.MembershipRate*c.InvalidationCost + extraFetches*c.RoundTripCost
+	if idCost < objectCost {
+		return IDList
+	}
+	return ObjectList
+}

@@ -1,0 +1,188 @@
+package ttl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestActiveListAdmitAndGet(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(4, 0, c.Now)
+	if !al.Admit("q1", 10*time.Second, []string{"t/a", "t/b"}, ObjectList) {
+		t.Fatal("admission to empty list failed")
+	}
+	e, ok := al.Get("q1")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.TTL != 10*time.Second || len(e.ResultKeys) != 2 || e.Representation != ObjectList {
+		t.Errorf("entry = %+v", e)
+	}
+	if al.Len() != 1 {
+		t.Errorf("Len = %d", al.Len())
+	}
+	if _, ok := al.Get("missing"); ok {
+		t.Error("missing query reported present")
+	}
+}
+
+func TestActiveListReadRefreshes(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(4, 0, c.Now)
+	al.Admit("q1", 5*time.Second, []string{"a"}, ObjectList)
+	c.Advance(3 * time.Second)
+	al.Admit("q1", 8*time.Second, []string{"a", "b"}, IDList)
+	e, _ := al.Get("q1")
+	if e.Reads != 2 {
+		t.Errorf("Reads = %d", e.Reads)
+	}
+	if !e.LastReadAt.Equal(c.Now()) {
+		t.Error("LastReadAt not refreshed")
+	}
+	if e.Representation != IDList || e.TTL != 8*time.Second {
+		t.Errorf("entry not updated: %+v", e)
+	}
+}
+
+func TestInvalidatedReturnsActualTTL(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(4, 0, c.Now)
+	al.Admit("q1", 30*time.Second, nil, ObjectList)
+	c.Advance(7 * time.Second)
+	actual, active := al.Invalidated("q1")
+	if !active {
+		t.Fatal("query should be active")
+	}
+	if actual != 7*time.Second {
+		t.Errorf("actual TTL = %v, want 7s (invalidation − last read)", actual)
+	}
+	if _, active := al.Invalidated("missing"); active {
+		t.Error("missing query reported active")
+	}
+	e, _ := al.Get("q1")
+	if e.Invalidations != 1 {
+		t.Errorf("Invalidations = %d", e.Invalidations)
+	}
+}
+
+func TestCapacityEvictsLowestValue(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(4, 2, c.Now)
+	al.Admit("good", time.Second, nil, ObjectList)
+	al.Admit("bad", time.Second, nil, ObjectList)
+	// "good" earns many reads per invalidation; "bad" is churn-heavy.
+	for i := 0; i < 10; i++ {
+		al.Admit("good", time.Second, nil, ObjectList)
+	}
+	for i := 0; i < 10; i++ {
+		al.Invalidated("bad")
+	}
+	// A third query must displace "bad" (score 1/10), not "good" (score 11).
+	if !al.Admit("new", time.Second, nil, ObjectList) {
+		t.Fatal("admission should evict the lowest-value query")
+	}
+	if _, ok := al.Get("bad"); ok {
+		t.Error("churn-heavy query survived eviction")
+	}
+	if _, ok := al.Get("good"); !ok {
+		t.Error("valuable query was evicted")
+	}
+	if al.Len() != 2 {
+		t.Errorf("Len = %d", al.Len())
+	}
+}
+
+func TestUpdateResultAndRemove(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(4, 0, c.Now)
+	al.Admit("q1", time.Second, []string{"a"}, ObjectList)
+	al.UpdateResult("q1", []string{"a", "b", "c"})
+	e, _ := al.Get("q1")
+	if len(e.ResultKeys) != 3 {
+		t.Errorf("ResultKeys = %v", e.ResultKeys)
+	}
+	al.Remove("q1")
+	if _, ok := al.Get("q1"); ok {
+		t.Error("removed query still present")
+	}
+	al.UpdateResult("missing", nil) // must not panic
+}
+
+func TestKeysEnumerates(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(8, 0, c.Now)
+	for i := 0; i < 10; i++ {
+		al.Admit(fmt.Sprintf("q%d", i), time.Second, nil, ObjectList)
+	}
+	if got := len(al.Keys()); got != 10 {
+		t.Errorf("Keys = %d", got)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(2, 0, c.Now)
+	al.Admit("q1", time.Second, []string{"a"}, ObjectList)
+	e, _ := al.Get("q1")
+	e.ResultKeys[0] = "mutated"
+	fresh, _ := al.Get("q1")
+	if fresh.ResultKeys[0] != "a" {
+		t.Error("Get leaked internal slice")
+	}
+}
+
+func TestActiveListConcurrency(t *testing.T) {
+	c := newFakeClock()
+	al := NewActiveList(8, 50, c.Now)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("q%d", (id*200+i)%100)
+				al.Admit(key, time.Second, nil, ObjectList)
+				al.Invalidated(key)
+				al.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if al.Len() > 50 {
+		t.Errorf("capacity exceeded: %d", al.Len())
+	}
+}
+
+func TestChooseRepresentation(t *testing.T) {
+	// Hot result set, mostly in-place changes: id-list avoids most
+	// invalidations and records are cached -> IDList wins.
+	rep := ChooseRepresentation(RepresentationCost{
+		ResultSize:     10,
+		ChangeRate:     5.0,
+		MembershipRate: 0.2,
+		RecordHitRate:  0.95,
+	})
+	if rep != IDList {
+		t.Errorf("churny content should favour id-list, got %v", rep)
+	}
+	// Cold result, poor record hit rate: object-list's single round-trip wins.
+	rep = ChooseRepresentation(RepresentationCost{
+		ResultSize:     20,
+		ChangeRate:     0.01,
+		MembershipRate: 0.005,
+		RecordHitRate:  0.1,
+	})
+	if rep != ObjectList {
+		t.Errorf("cold content should favour object-list, got %v", rep)
+	}
+	// Degenerate inputs must not panic and produce a valid choice.
+	rep = ChooseRepresentation(RepresentationCost{RecordHitRate: 5})
+	if rep != ObjectList && rep != IDList {
+		t.Errorf("invalid rep %v", rep)
+	}
+	if ObjectList.String() != "object-list" || IDList.String() != "id-list" {
+		t.Error("String() labels wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package ttl
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the TTL-estimation baselines the paper positions
+// itself against (Section 7 "Expiration-Based Caching"), so the estimator
+// comparison can be reproduced:
+//
+//   - Static: one fixed application-defined TTL for everything — the
+//     straw-man of Section 3 ("either many stale reads will occur when the
+//     TTL is too high, or cache hit ratios will suffer when the TTL is too
+//     low").
+//   - Alex: the Alex FTP-cache protocol (Gwertzman & Seltzer; Cate 1992):
+//     TTL = Percentage × (now − last modification), capped by an upper
+//     bound. "Similar to QUAESTOR's TTL update strategy for queries but
+//     has the downside of neither converging to the actual TTL nor being
+//     able to give estimates for new queries."
+
+// Policy is the common surface of TTL estimation strategies, satisfied by
+// *Estimator (Quaestor), *Static and *Alex.
+type Policy interface {
+	// ObserveWrite samples one write to a record key.
+	ObserveWrite(recordKey string)
+	// RecordTTL estimates the expiration for a record.
+	RecordTTL(recordKey string) time.Duration
+	// QueryTTL estimates the expiration for a query over the given record
+	// keys.
+	QueryTTL(queryKey string, resultRecordKeys []string) time.Duration
+	// ObserveInvalidation feeds back an observed actual TTL.
+	ObserveInvalidation(queryKey string, actual time.Duration) time.Duration
+}
+
+var (
+	_ Policy = (*Estimator)(nil)
+	_ Policy = (*Static)(nil)
+	_ Policy = (*Alex)(nil)
+)
+
+// Static assigns one constant TTL to every record and query.
+type Static struct {
+	// TTL is the fixed expiration.
+	TTL time.Duration
+}
+
+// NewStatic creates the fixed-TTL straw man.
+func NewStatic(ttl time.Duration) *Static { return &Static{TTL: ttl} }
+
+// ObserveWrite implements Policy (no-op: static TTLs ignore workload).
+func (s *Static) ObserveWrite(string) {}
+
+// RecordTTL implements Policy.
+func (s *Static) RecordTTL(string) time.Duration { return s.TTL }
+
+// QueryTTL implements Policy.
+func (s *Static) QueryTTL(string, []string) time.Duration { return s.TTL }
+
+// ObserveInvalidation implements Policy (static TTLs never adapt).
+func (s *Static) ObserveInvalidation(string, time.Duration) time.Duration { return s.TTL }
+
+// Alex implements the Alex protocol: the TTL is a fixed percentage of the
+// object's age since its last modification, clamped to [MinTTL, MaxTTL].
+type Alex struct {
+	// Percentage of the time since last modification (default 0.2, the
+	// classical choice).
+	Percentage float64
+	// MinTTL/MaxTTL clamp estimates (defaults 1s / 1h).
+	MinTTL time.Duration
+	MaxTTL time.Duration
+	// Clock supplies time (default time.Now).
+	Clock func() time.Time
+
+	mu       sync.Mutex
+	modified map[string]time.Time
+}
+
+// NewAlex creates an Alex-protocol estimator.
+func NewAlex(percentage float64, clock func() time.Time) *Alex {
+	if percentage <= 0 {
+		percentage = 0.2
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Alex{
+		Percentage: percentage,
+		MinTTL:     time.Second,
+		MaxTTL:     time.Hour,
+		Clock:      clock,
+		modified:   map[string]time.Time{},
+	}
+}
+
+// ObserveWrite records the modification time.
+func (a *Alex) ObserveWrite(recordKey string) {
+	a.mu.Lock()
+	a.modified[recordKey] = a.Clock()
+	a.mu.Unlock()
+}
+
+func (a *Alex) clamp(d time.Duration) time.Duration {
+	if d < a.MinTTL {
+		return a.MinTTL
+	}
+	if d > a.MaxTTL {
+		return a.MaxTTL
+	}
+	return d
+}
+
+// RecordTTL implements Policy: Percentage × age-since-modification.
+func (a *Alex) RecordTTL(recordKey string) time.Duration {
+	now := a.Clock()
+	a.mu.Lock()
+	mod, ok := a.modified[recordKey]
+	a.mu.Unlock()
+	if !ok {
+		// Alex cannot estimate never-modified objects; it falls back to the
+		// cap — exactly the weakness the paper calls out.
+		return a.MaxTTL
+	}
+	return a.clamp(time.Duration(a.Percentage * float64(now.Sub(mod))))
+}
+
+// QueryTTL implements Policy: the most recently modified member governs.
+func (a *Alex) QueryTTL(_ string, resultRecordKeys []string) time.Duration {
+	now := a.Clock()
+	a.mu.Lock()
+	var newest time.Time
+	known := false
+	for _, k := range resultRecordKeys {
+		if mod, ok := a.modified[k]; ok {
+			known = true
+			if mod.After(newest) {
+				newest = mod
+			}
+		}
+	}
+	a.mu.Unlock()
+	if !known {
+		return a.MaxTTL
+	}
+	return a.clamp(time.Duration(a.Percentage * float64(now.Sub(newest))))
+}
+
+// ObserveInvalidation implements Policy. Alex does not learn from
+// invalidations; the estimate stays age-based.
+func (a *Alex) ObserveInvalidation(queryKey string, actual time.Duration) time.Duration {
+	return a.clamp(actual)
+}

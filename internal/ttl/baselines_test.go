@@ -1,0 +1,91 @@
+package ttl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStaticPolicy(t *testing.T) {
+	s := NewStatic(30 * time.Second)
+	s.ObserveWrite("r1") // no-op
+	if s.RecordTTL("anything") != 30*time.Second {
+		t.Error("static record TTL wrong")
+	}
+	if s.QueryTTL("q", []string{"a", "b"}) != 30*time.Second {
+		t.Error("static query TTL wrong")
+	}
+	if s.ObserveInvalidation("q", time.Second) != 30*time.Second {
+		t.Error("static must not adapt")
+	}
+}
+
+func TestAlexAgeProportional(t *testing.T) {
+	c := newFakeClock()
+	a := NewAlex(0.2, c.Now)
+	a.MinTTL = time.Millisecond
+	a.ObserveWrite("r1")
+	c.Advance(100 * time.Second)
+	// TTL = 20% of 100s = 20s.
+	got := a.RecordTTL("r1")
+	if got != 20*time.Second {
+		t.Errorf("Alex TTL = %v, want 20s", got)
+	}
+	// Older objects get longer TTLs — the protocol's defining behaviour.
+	c.Advance(400 * time.Second)
+	if a.RecordTTL("r1") <= got {
+		t.Error("Alex TTL should grow with age")
+	}
+}
+
+func TestAlexCapsAndUnknowns(t *testing.T) {
+	c := newFakeClock()
+	a := NewAlex(0.2, c.Now)
+	a.MaxTTL = time.Minute
+	// Never-modified objects fall back to the cap — Alex cannot estimate
+	// new objects (the weakness the paper notes).
+	if a.RecordTTL("unknown") != time.Minute {
+		t.Error("unknown record should get MaxTTL")
+	}
+	a.ObserveWrite("r1")
+	c.Advance(10 * time.Hour)
+	if a.RecordTTL("r1") != time.Minute {
+		t.Error("cap not applied")
+	}
+	// Freshly modified: clamped up to MinTTL.
+	a.ObserveWrite("r2")
+	if got := a.RecordTTL("r2"); got != a.MinTTL {
+		t.Errorf("fresh record TTL = %v, want MinTTL", got)
+	}
+}
+
+func TestAlexQueryUsesNewestMember(t *testing.T) {
+	c := newFakeClock()
+	a := NewAlex(0.5, c.Now)
+	a.MinTTL = time.Millisecond
+	a.ObserveWrite("old")
+	c.Advance(100 * time.Second)
+	a.ObserveWrite("new")
+	c.Advance(10 * time.Second)
+	// Newest member is 10s old -> TTL = 5s (not 55s from the old member).
+	if got := a.QueryTTL("q", []string{"old", "new"}); got != 5*time.Second {
+		t.Errorf("query TTL = %v, want 5s", got)
+	}
+	if a.QueryTTL("q", []string{"neither"}) != a.MaxTTL {
+		t.Error("all-unknown query should get MaxTTL")
+	}
+}
+
+func TestPolicyInterfaceSatisfied(t *testing.T) {
+	c := newFakeClock()
+	policies := []Policy{
+		NewEstimator(&Config{Clock: c.Now}),
+		NewStatic(time.Second),
+		NewAlex(0.2, c.Now),
+	}
+	for _, p := range policies {
+		p.ObserveWrite("k")
+		if p.RecordTTL("k") <= 0 {
+			t.Errorf("%T returned non-positive TTL", p)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfDistributionShape(t *testing.T) {
+	z := NewZipf(100, 0.99)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Zipf(0.99): P(0)/P(1) ≈ 2^0.99 ≈ 1.99.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("rank0/rank1 = %.2f, want ≈2", ratio)
+	}
+	// Rank 0 must dominate the tail.
+	if counts[0] <= counts[50] {
+		t.Error("no skew")
+	}
+	// All ranks reachable.
+	if z.N() != 100 {
+		t.Errorf("N = %d", z.N())
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	r := rand.New(rand.NewSource(2))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for rank, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/50 {
+			t.Errorf("rank %d count %d far from uniform %d", rank, c, n/10)
+		}
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 1)
+	r := rand.New(rand.NewSource(3))
+	if z.Sample(r) != 0 {
+		t.Error("degenerate sampler should return 0")
+	}
+}
+
+func TestMixSampling(t *testing.T) {
+	m := Mix{Read: 0.5, Query: 0.3, Update: 0.2}
+	r := rand.New(rand.NewSource(4))
+	counts := map[OpType]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r)]++
+	}
+	if math.Abs(float64(counts[OpRead])/n-0.5) > 0.02 {
+		t.Errorf("read share = %f", float64(counts[OpRead])/n)
+	}
+	if math.Abs(float64(counts[OpQuery])/n-0.3) > 0.02 {
+		t.Errorf("query share = %f", float64(counts[OpQuery])/n)
+	}
+	if math.Abs(float64(counts[OpUpdate])/n-0.2) > 0.02 {
+		t.Errorf("update share = %f", float64(counts[OpUpdate])/n)
+	}
+	if counts[OpInsert] != 0 || counts[OpDelete] != 0 {
+		t.Error("zero-weight ops sampled")
+	}
+	// Degenerate mix defaults to reads.
+	var zero Mix
+	if zero.Sample(r) != OpRead {
+		t.Error("zero mix should default to reads")
+	}
+}
+
+func TestReadHeavyMixMatchesPaper(t *testing.T) {
+	// 99% reads+queries (equally weighted), 1% writes.
+	total := ReadHeavy.total()
+	if math.Abs(ReadHeavy.Read/total-0.495) > 1e-9 || math.Abs(ReadHeavy.Update/total-0.01) > 1e-9 {
+		t.Errorf("ReadHeavy = %+v", ReadHeavy)
+	}
+}
+
+func TestGenerateDatasetShape(t *testing.T) {
+	ds := GenerateDataset(&DatasetConfig{Tables: 3, DocsPerTable: 500, QueriesPerTable: 20, MeanResultSize: 10, Seed: 7})
+	if len(ds.Tables) != 3 || len(ds.Queries) != 60 {
+		t.Fatalf("tables=%d queries=%d", len(ds.Tables), len(ds.Queries))
+	}
+	for _, table := range ds.Tables {
+		if len(ds.Docs[table]) != 500 {
+			t.Errorf("table %s has %d docs", table, len(ds.Docs[table]))
+		}
+		if len(ds.ByTable[table]) != 20 {
+			t.Errorf("table %s has %d queries", table, len(ds.ByTable[table]))
+		}
+	}
+	// Mean result size should be near the target: count matches of each
+	// query against its table.
+	totalMatches := 0
+	for _, table := range ds.Tables {
+		for _, q := range ds.ByTable[table] {
+			for _, d := range ds.Docs[table] {
+				if q.Matches(d) {
+					totalMatches++
+				}
+			}
+		}
+	}
+	mean := float64(totalMatches) / float64(len(ds.Queries))
+	// Documents carry 2 tags from a domain of 50 -> E[matches] ≈ 2×500/50 = 20
+	// per tag; queries select single tags, so allow a broad band around the
+	// structural expectation (docs/tagDomain ≤ mean ≤ 2·docs/tagDomain).
+	lo := float64(500) / float64(ds.TagDomain)
+	hi := 2.2 * lo
+	if mean < 0.5*lo || mean > hi {
+		t.Errorf("mean result size %.1f outside [%.1f, %.1f]", mean, 0.5*lo, hi)
+	}
+}
+
+func TestGenerateDatasetDeterministic(t *testing.T) {
+	a := GenerateDataset(&DatasetConfig{Tables: 1, DocsPerTable: 50, QueriesPerTable: 5, Seed: 9})
+	b := GenerateDataset(&DatasetConfig{Tables: 1, DocsPerTable: 50, QueriesPerTable: 5, Seed: 9})
+	for i, d := range a.Docs[TableName(0)] {
+		if !d.Equal(b.Docs[TableName(0)][i]) {
+			t.Fatalf("doc %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministicAndValid(t *testing.T) {
+	ds := GenerateDataset(&DatasetConfig{Tables: 2, DocsPerTable: 100, QueriesPerTable: 10, Seed: 5})
+	g1 := NewGenerator(ds, ReadHeavy, 0.9, 123)
+	g2 := NewGenerator(ds, ReadHeavy, 0.9, 123)
+	for i := 0; i < 1000; i++ {
+		op1, op2 := g1.Next(), g2.Next()
+		if op1.Type != op2.Type || op1.Table != op2.Table || op1.DocID != op2.DocID {
+			t.Fatalf("streams diverge at %d", i)
+		}
+		switch op1.Type {
+		case OpQuery:
+			if op1.Query == nil {
+				t.Fatal("query op without query")
+			}
+		case OpRead, OpUpdate:
+			if op1.DocID == "" {
+				t.Fatal("record op without doc id")
+			}
+			if op1.Type == OpUpdate && op1.UpdateTag == "" {
+				t.Fatal("update without tag")
+			}
+		}
+		if ds.Docs[op1.Table] == nil {
+			t.Fatalf("op against unknown table %q", op1.Table)
+		}
+	}
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	names := map[OpType]string{
+		OpRead: "read", OpQuery: "query", OpInsert: "insert",
+		OpUpdate: "update", OpDelete: "delete",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+}
