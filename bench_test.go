@@ -11,10 +11,14 @@ import (
 	"testing"
 	"time"
 
+	"quaestor/internal/document"
 	"quaestor/internal/ebf"
 	"quaestor/internal/experiments"
+	"quaestor/internal/invalidb"
+	"quaestor/internal/query"
 	"quaestor/internal/server"
 	"quaestor/internal/sim"
+	"quaestor/internal/store"
 	"quaestor/internal/ttl"
 	"quaestor/internal/workload"
 )
@@ -142,6 +146,152 @@ func BenchmarkRepresentationCostModel(b *testing.B) {
 			b.Fatal("invalid representation")
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Secondary-index & planner benchmarks: indexed access paths vs the full
+// scans every layer paid before the index layer existed. The acceptance
+// target is ≥5× at 10k documents (store) and 1k registered queries
+// (InvaliDB candidate matching).
+
+const benchDocs = 10000
+
+// newBenchStore builds a 10k-document table; with indexes, the planner
+// routes the benchmark queries through probe/range paths.
+func newBenchStore(b *testing.B, indexed bool) *store.Store {
+	b.Helper()
+	s := store.Open(nil)
+	b.Cleanup(s.Close)
+	if err := s.CreateTable("docs"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchDocs; i++ {
+		doc := document.New(fmt.Sprintf("d%05d", i), map[string]any{
+			"tag":  fmt.Sprintf("tag%03d", i%1000), // ≈10 docs per tag
+			"rank": int64(i),
+			"tags": []any{fmt.Sprintf("t%03d", i%500), "all"},
+		})
+		if err := s.Insert("docs", doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if indexed {
+		for _, path := range []string{"tag", "rank", "tags"} {
+			if err := s.CreateIndex("docs", path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func benchStoreQuery(b *testing.B, indexed bool, q *query.Query) {
+	s := newBenchStore(b, indexed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs, err := s.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(docs) == 0 {
+			b.Fatal("query matched nothing")
+		}
+	}
+}
+
+// BenchmarkStoreLookupIndexed measures an equality lookup through the
+// planner's hash-index probe path.
+func BenchmarkStoreLookupIndexed(b *testing.B) {
+	benchStoreQuery(b, true, query.New("docs", query.Eq("tag", "tag042")))
+}
+
+// BenchmarkStoreLookupScan is the same lookup forced through a full scan
+// (no index exists, so the planner falls back).
+func BenchmarkStoreLookupScan(b *testing.B) {
+	benchStoreQuery(b, false, query.New("docs", query.Eq("tag", "tag042")))
+}
+
+// BenchmarkStoreRangeIndexed measures a closed-range query through the
+// ordered-index range path (≈1% selectivity).
+func BenchmarkStoreRangeIndexed(b *testing.B) {
+	benchStoreQuery(b, true, query.New("docs",
+		query.AndOf(query.Gte("rank", int64(5000)), query.Lt("rank", int64(5100)))))
+}
+
+// BenchmarkStoreRangeScan is the same range query without indexes.
+func BenchmarkStoreRangeScan(b *testing.B) {
+	benchStoreQuery(b, false, query.New("docs",
+		query.AndOf(query.Gte("rank", int64(5000)), query.Lt("rank", int64(5100)))))
+}
+
+// BenchmarkStoreContainsIndexed measures a CONTAINS query through the
+// multikey element postings.
+func BenchmarkStoreContainsIndexed(b *testing.B) {
+	benchStoreQuery(b, true, query.New("docs", query.Contains("tags", "t123")))
+}
+
+// BenchmarkStoreContainsScan is the same CONTAINS query by full scan.
+func BenchmarkStoreContainsScan(b *testing.B) {
+	benchStoreQuery(b, false, query.New("docs", query.Contains("tags", "t123")))
+}
+
+const benchRegisteredQueries = 1000
+
+// benchInvaliDBMatch measures matching-cell fan-out with 1k registered
+// queries: each iteration ingests one after-image and the pipeline drains
+// before the timer stops. With the inverted query index an event only
+// reaches its candidate queries; disabled, every event is tested against
+// all 1k.
+func benchInvaliDBMatch(b *testing.B, disableIndex bool) {
+	cluster := invalidb.NewCluster(&invalidb.Config{
+		Buffer:            1 << 14,
+		DisableQueryIndex: disableIndex,
+	})
+	b.Cleanup(cluster.Stop)
+	go func() {
+		for range cluster.Notifications() {
+		}
+	}()
+	for i := 0; i < benchRegisteredQueries; i++ {
+		q := query.New("posts", query.Contains("tags", fmt.Sprintf("tag%04d", i)))
+		if err := cluster.Activate(invalidb.Registration{Query: q}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	events := make([]store.ChangeEvent, 256)
+	for i := range events {
+		events[i] = store.ChangeEvent{
+			Seq:   uint64(i + 1),
+			Table: "posts",
+			Op:    store.OpUpdate,
+			After: document.New(fmt.Sprintf("p%03d", i), map[string]any{
+				"tags": []any{fmt.Sprintf("tag%04d", i%benchRegisteredQueries)},
+			}),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		ev.Seq = uint64(i + 1)
+		cluster.Ingest(ev)
+	}
+	if !cluster.Quiesce(time.Minute) {
+		b.Fatal("pipeline did not drain")
+	}
+}
+
+// BenchmarkInvaliDBMatchIndexed measures per-event matching cost with the
+// inverted query index pruning candidates.
+func BenchmarkInvaliDBMatchIndexed(b *testing.B) {
+	benchInvaliDBMatch(b, false)
+}
+
+// BenchmarkInvaliDBMatchScan is the O(registered queries) baseline with
+// candidate pruning disabled.
+func BenchmarkInvaliDBMatchScan(b *testing.B) {
+	benchInvaliDBMatch(b, true)
 }
 
 // BenchmarkEBFThroughput measures Expiring Bloom Filter operation

@@ -7,6 +7,8 @@
 // Commands:
 //
 //	create-table <table>                 create a table
+//	create-index <table> <field.path>    create a secondary index
+//	indexes <table>                      list a table's indexed paths
 //	insert <table> <json>                insert a document ("_id" required)
 //	get <table> <id>                     read a record (prints caching headers)
 //	put <table> <id> <json>              upsert a record
@@ -59,6 +61,11 @@ func main() {
 	switch cmd := args[0]; cmd {
 	case "create-table":
 		err = c.simple(http.MethodPost, "/v1/tables/"+arg(args, 1), nil)
+	case "create-index":
+		err = c.simple(http.MethodPost, "/v1/indexes/"+arg(args, 1),
+			[]byte(fmt.Sprintf(`{"path":%q}`, arg(args, 2))))
+	case "indexes":
+		err = c.get("/v1/indexes/" + arg(args, 1))
 	case "insert":
 		err = c.simple(http.MethodPost, "/v1/db/"+arg(args, 1), []byte(arg(args, 2)))
 	case "get":

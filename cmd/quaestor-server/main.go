@@ -26,6 +26,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	tables := flag.String("tables", "posts", "comma-separated tables to create at startup")
+	indexes := flag.String("indexes", "", "comma-separated table:field.path secondary indexes to create at startup (e.g. posts:tags,posts:author)")
 	queryParts := flag.Int("query-partitions", 2, "InvaliDB query partitions (columns)")
 	objectParts := flag.Int("object-partitions", 2, "InvaliDB object partitions (rows)")
 	maxQueries := flag.Int("max-queries", 10000, "InvaliDB active query capacity (0 = unlimited)")
@@ -66,6 +67,19 @@ func main() {
 		}
 		if err := db.CreateTable(t); err != nil {
 			log.Fatalf("creating table %q: %v", t, err)
+		}
+	}
+	for _, spec := range strings.Split(*indexes, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		table, path, ok := strings.Cut(spec, ":")
+		if !ok {
+			log.Fatalf("index spec %q must be table:field.path", spec)
+		}
+		if err := db.CreateIndex(table, path); err != nil {
+			log.Fatalf("creating index %q: %v", spec, err)
 		}
 	}
 

@@ -25,6 +25,11 @@ func main() {
 	if err := db.CreateTable("posts"); err != nil {
 		log.Fatal(err)
 	}
+	// A secondary index on the queried field routes origin reads through
+	// an index probe instead of a table scan.
+	if err := db.CreateIndex("posts", "tags"); err != nil {
+		log.Fatal(err)
+	}
 
 	// 2. A CDN edge in front of the origin: an invalidation-based HTTP
 	// cache that honours s-maxage and supports purging.

@@ -1,0 +1,3 @@
+module quaestor
+
+go 1.24

@@ -11,6 +11,7 @@ package document
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -304,7 +305,18 @@ func Compare(a, b any) int {
 }
 
 func compareNumbers(a, b float64) int {
+	// NaN sorts before every other number and equal to itself. Without
+	// this, NaN would compare equal to everything (both < and > are
+	// false), making the order non-transitive and DeepEqual(NaN, x) true
+	// for any number — which would break sorting and index-key agreement.
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
 	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
 	case a < b:
 		return -1
 	case a > b:
@@ -434,13 +446,56 @@ func DeletePath(root map[string]any, path string) {
 }
 
 // Canonical returns a deterministic string encoding of a canonical value:
-// map keys are sorted, numbers print minimally. Two deeply equal values
-// always produce identical canonical strings, which makes this suitable for
-// cache keys and Bloom filter keys.
+// map keys are sorted, numbers print minimally. Values that print the same
+// compare as equal, but the converse does not hold for int64 values beyond
+// float64's exact integer range (±2^53): Compare folds numerics through
+// float64, so e.g. 1<<60 and (1<<60)+1 are DeepEqual yet print differently.
+// Use MatchKey where the key must agree exactly with Compare equality.
 func Canonical(v any) string {
 	var sb strings.Builder
 	writeCanonical(&sb, v)
 	return sb.String()
+}
+
+// MatchKey returns a deterministic string encoding under which two values
+// share a key if and only if they Compare as equal. It differs from
+// Canonical only on huge int64s (and values nesting them), which are
+// folded through float64 the same way Compare folds them. Hash-index
+// postings and InvaliDB query postings use it so probe completeness
+// matches the document model's equality semantics.
+func MatchKey(v any) string {
+	var sb strings.Builder
+	writeMatchKey(&sb, v)
+	return sb.String()
+}
+
+func writeMatchKey(sb *strings.Builder, v any) {
+	switch t := v.(type) {
+	case int64:
+		writeCanonical(sb, float64(t))
+	case []any:
+		sb.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeMatchKey(sb, e)
+		}
+		sb.WriteByte(']')
+	case map[string]any:
+		sb.WriteByte('{')
+		for i, k := range sortedKeys(t) {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Quote(k))
+			sb.WriteByte(':')
+			writeMatchKey(sb, t[k])
+		}
+		sb.WriteByte('}')
+	default:
+		writeCanonical(sb, v)
+	}
 }
 
 func writeCanonical(sb *strings.Builder, v any) {

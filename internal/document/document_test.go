@@ -2,6 +2,7 @@ package document
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -139,6 +140,41 @@ func TestCompareNumericCrossType(t *testing.T) {
 	}
 	if Compare(float64(2.5), int64(2)) != 1 {
 		t.Error("2.5 should be > 2")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := math.NaN()
+	// NaN must not compare equal to ordinary numbers (that would make the
+	// order non-transitive) — it sorts first and equals only itself.
+	if Compare(nan, float64(5)) != -1 || Compare(float64(5), nan) != 1 {
+		t.Error("NaN must sort before other numbers")
+	}
+	if Compare(nan, math.NaN()) != 0 {
+		t.Error("NaN must equal NaN")
+	}
+	if DeepEqual(nan, int64(5)) {
+		t.Error("NaN must not deep-equal 5")
+	}
+	if MatchKey(nan) == MatchKey(float64(5)) {
+		t.Error("NaN and 5 must have distinct match keys")
+	}
+}
+
+func TestMatchKeyFoldsHugeInt64(t *testing.T) {
+	a, b := int64(1)<<60, int64(1)<<60+1
+	if Compare(a, b) != 0 {
+		t.Fatal("test premise: huge int64s fold equal through float64")
+	}
+	if MatchKey(a) != MatchKey(b) {
+		t.Error("Compare-equal values must share a match key")
+	}
+	if Canonical(a) == Canonical(b) {
+		t.Error("Canonical is expected to keep exact int64 keys distinct")
+	}
+	// Nested values fold too.
+	if MatchKey([]any{a}) != MatchKey([]any{b}) {
+		t.Error("match-key folding must recurse into arrays")
 	}
 }
 

@@ -41,10 +41,16 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure8a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulator reproduction")
+	}
 	checkTable(t, Figure8a(tiny), "quaestor", "uncached", "speedup")
 }
 
 func TestFigure8bAnd8c(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulator reproduction")
+	}
 	checkTable(t, Figure8b(tiny), "connections", "cdn-only")
 	checkTable(t, Figure8c(tiny), "connections", "ebf-only")
 }
@@ -63,10 +69,16 @@ func TestFigure8f(t *testing.T) {
 }
 
 func TestFigure9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulator reproduction")
+	}
 	checkTable(t, Figure9(tiny), "update-rate", "100k obj/1k queries/1s")
 }
 
 func TestFigure10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulator reproduction")
+	}
 	checkTable(t, Figure10(tiny), "refresh-s", "100cl/queries")
 }
 

@@ -1,0 +1,309 @@
+// Package index provides the incrementally-maintained secondary indexes
+// behind Quaestor's query planner: a multikey hash index for equality and
+// containment probes plus an ordered index (sorted by document.Compare) for
+// range and prefix scans, both over one dotted field path.
+//
+// An index is a candidate generator, not an oracle: probes and scans return
+// a superset of the matching document ids and callers re-verify each
+// candidate against the full predicate. That contract keeps the index
+// correct by construction in the presence of Mongo's equality subtleties
+// (array membership, cross-type range guards) — the worst an index bug
+// could cost is performance, never a wrong result. The only requirement is
+// completeness: every id that matches the operator being served must be
+// returned.
+//
+// Indexes are not internally synchronized. The store updates them while
+// holding the owning shard's write lock, so index maintenance rides the
+// exact same critical section as the document write it mirrors.
+package index
+
+import (
+	"sort"
+
+	"quaestor/internal/document"
+)
+
+// ValueKeys returns the canonical hash keys a stored field value is indexed
+// under: the whole value's canonical encoding plus, for arrays, each
+// element's encoding. The element keys implement multikey semantics: they
+// serve both Mongo equality-as-membership ({tags: "a"} matching
+// tags:["a","b"]) and $contains probes.
+func ValueKeys(v any) (whole string, elems []string) {
+	whole = document.MatchKey(v)
+	if arr, ok := v.([]any); ok {
+		elems = make([]string, len(arr))
+		for i, e := range arr {
+			elems[i] = document.MatchKey(e)
+		}
+	}
+	return whole, elems
+}
+
+// entry groups the ids of the documents indexed under one distinct value.
+type entry struct {
+	val any    // the value itself, for ordered scans
+	key string // MatchKey encoding, the hash key
+	// whole holds ids whose field deep-equals val; elem holds ids whose
+	// array field contains val. They are kept apart because range scans
+	// must see only whole values and array-valued equality probes must not
+	// see element postings.
+	whole map[string]struct{}
+	elem  map[string]struct{}
+}
+
+func (e *entry) empty() bool { return len(e.whole) == 0 && len(e.elem) == 0 }
+
+// Bound is one end of a range scan.
+type Bound struct {
+	Value     any
+	Inclusive bool
+	// Unbounded marks an open end; Value is ignored.
+	Unbounded bool
+}
+
+// Field is a secondary index over one dotted field path of one shard.
+type Field struct {
+	path   string
+	byKey  map[string]*entry
+	sorted []*entry // ascending by (document.Compare, key)
+	docs   int      // documents currently indexed (field present)
+}
+
+// NewField creates an empty index over the given dotted path.
+func NewField(path string) *Field {
+	return &Field{path: path, byKey: map[string]*entry{}}
+}
+
+// Path returns the indexed field path.
+func (f *Field) Path() string { return f.path }
+
+// Stats summarizes the index for the planner.
+type Stats struct {
+	// Docs is the number of indexed documents (those with the field
+	// present).
+	Docs int
+	// Distinct is the number of distinct indexed values, counting array
+	// elements as values in their own right.
+	Distinct int
+}
+
+// Stats returns current statistics.
+func (f *Field) Stats() Stats { return Stats{Docs: f.docs, Distinct: len(f.byKey)} }
+
+// Add indexes the document's value at the field path. Documents without
+// the field are not indexed.
+func (f *Field) Add(doc *document.Document) {
+	v, ok := document.GetPath(doc.Fields, f.path)
+	if !ok {
+		return
+	}
+	f.docs++
+	whole, elems := ValueKeys(v)
+	f.entryFor(whole, v).whole[doc.ID] = struct{}{}
+	if arr, isArr := v.([]any); isArr {
+		for i, el := range arr {
+			f.entryFor(elems[i], el).elem[doc.ID] = struct{}{}
+		}
+	}
+}
+
+// Remove drops the document's postings. It must be called with the same
+// field value the document was indexed under (the store passes the
+// pre-image).
+func (f *Field) Remove(doc *document.Document) {
+	v, ok := document.GetPath(doc.Fields, f.path)
+	if !ok {
+		return
+	}
+	f.docs--
+	whole, elems := ValueKeys(v)
+	f.dropPosting(whole, doc.ID, false)
+	if arr, isArr := v.([]any); isArr {
+		for i := range arr {
+			f.dropPosting(elems[i], doc.ID, true)
+		}
+	}
+}
+
+func (f *Field) entryFor(key string, val any) *entry {
+	e, ok := f.byKey[key]
+	if !ok {
+		e = &entry{
+			val:   document.CloneValue(val),
+			key:   key,
+			whole: map[string]struct{}{},
+			elem:  map[string]struct{}{},
+		}
+		f.byKey[key] = e
+		i := f.searchEntry(e.val, e.key)
+		f.sorted = append(f.sorted, nil)
+		copy(f.sorted[i+1:], f.sorted[i:])
+		f.sorted[i] = e
+	}
+	return e
+}
+
+func (f *Field) dropPosting(key, id string, elem bool) {
+	e, ok := f.byKey[key]
+	if !ok {
+		return
+	}
+	if elem {
+		delete(e.elem, id)
+	} else {
+		delete(e.whole, id)
+	}
+	if e.empty() {
+		delete(f.byKey, key)
+		i := f.searchEntry(e.val, e.key)
+		for i < len(f.sorted) && f.sorted[i] != e {
+			i++
+		}
+		if i < len(f.sorted) {
+			f.sorted = append(f.sorted[:i], f.sorted[i+1:]...)
+		}
+	}
+}
+
+// searchEntry returns the insertion index for (val, key) in the sorted
+// slice. MatchKey equality coincides with Compare equality, so the key
+// tie-break is defensive: it keeps positions deterministic even if the
+// two notions ever diverge.
+func (f *Field) searchEntry(val any, key string) int {
+	return sort.Search(len(f.sorted), func(i int) bool {
+		c := document.Compare(f.sorted[i].val, val)
+		if c != 0 {
+			return c >= 0
+		}
+		return f.sorted[i].key >= key
+	})
+}
+
+// ProbeEq returns candidate ids for {path: {$eq: value}}: exact-value
+// postings plus — when the probe value is a scalar — element postings, so
+// array membership equality is covered.
+func (f *Field) ProbeEq(value any) []string {
+	key := document.MatchKey(value)
+	e, ok := f.byKey[key]
+	if !ok {
+		return nil
+	}
+	_, probeIsArr := value.([]any)
+	ids := make([]string, 0, len(e.whole)+len(e.elem))
+	for id := range e.whole {
+		ids = append(ids, id)
+	}
+	if !probeIsArr {
+		for id := range e.elem {
+			if _, dup := e.whole[id]; !dup {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}
+
+// ProbeContains returns candidate ids for {path: {$contains: value}}:
+// documents whose array field has value as an element.
+func (f *Field) ProbeContains(value any) []string {
+	e, ok := f.byKey[document.MatchKey(value)]
+	if !ok {
+		return nil
+	}
+	ids := make([]string, 0, len(e.elem))
+	for id := range e.elem {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// typeClass groups values the way the range operators' comparability guard
+// does: range predicates only ever match numbers against numbers and
+// strings against strings. Classes are disjoint, and within the sorted
+// order (null < numbers < strings < maps < arrays < bools) each class is
+// one contiguous segment.
+type typeClass int
+
+const (
+	classOther typeClass = iota
+	classNumber
+	classString
+)
+
+func classOf(v any) typeClass {
+	switch v.(type) {
+	case int64, float64:
+		return classNumber
+	case string:
+		return classString
+	}
+	return classOther
+}
+
+// RangeScan returns candidate ids for values within [lo, hi] (each end
+// optionally exclusive or unbounded), restricted to the bound values' type
+// class. At least one bound must be bounded. Only whole-value postings are
+// returned: arrays never satisfy range operators.
+func (f *Field) RangeScan(lo, hi Bound) []string {
+	var ids []string
+	f.scanRange(lo, hi, func(e *entry) {
+		for id := range e.whole {
+			ids = append(ids, id)
+		}
+	})
+	return ids
+}
+
+func (f *Field) scanRange(lo, hi Bound, visit func(*entry)) {
+	ref := lo.Value
+	if lo.Unbounded {
+		ref = hi.Value
+	}
+	class := classOf(ref)
+	if class == classOther {
+		return // range operators never match non-scalar values
+	}
+	start := 0
+	if lo.Unbounded {
+		// First entry of the type class.
+		start = sort.Search(len(f.sorted), func(i int) bool {
+			return !lessClass(f.sorted[i].val, class)
+		})
+	} else {
+		start = sort.Search(len(f.sorted), func(i int) bool {
+			c := document.Compare(f.sorted[i].val, lo.Value)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	for i := start; i < len(f.sorted); i++ {
+		e := f.sorted[i]
+		if classOf(e.val) != class {
+			break // left the contiguous class segment
+		}
+		if !hi.Unbounded {
+			c := document.Compare(e.val, hi.Value)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				break
+			}
+		}
+		visit(e)
+	}
+}
+
+// lessClass reports whether v's type sorts strictly before the given class
+// segment in document.Compare order.
+func lessClass(v any, class typeClass) bool {
+	switch class {
+	case classNumber:
+		return v == nil
+	case classString:
+		switch v.(type) {
+		case nil, int64, float64:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"quaestor/internal/document"
+)
+
+func doc(id string, fields map[string]any) *document.Document {
+	return document.New(id, fields)
+}
+
+func sortedIDs(ids []string) []string {
+	out := append([]string(nil), ids...)
+	sort.Strings(out)
+	return out
+}
+
+func wantIDs(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	g := sortedIDs(got)
+	sort.Strings(want)
+	if len(g) != len(want) {
+		t.Fatalf("got %v, want %v", g, want)
+	}
+	for i := range g {
+		if g[i] != want[i] {
+			t.Fatalf("got %v, want %v", g, want)
+		}
+	}
+}
+
+func TestProbeEqScalar(t *testing.T) {
+	f := NewField("color")
+	f.Add(doc("a", map[string]any{"color": "red"}))
+	f.Add(doc("b", map[string]any{"color": "blue"}))
+	f.Add(doc("c", map[string]any{"color": "red"}))
+	f.Add(doc("d", map[string]any{"size": 4})) // field absent: unindexed
+
+	wantIDs(t, f.ProbeEq("red"), "a", "c")
+	wantIDs(t, f.ProbeEq("blue"), "b")
+	wantIDs(t, f.ProbeEq("green"))
+	st := f.Stats()
+	if st.Docs != 3 || st.Distinct != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProbeEqNumericFolding(t *testing.T) {
+	f := NewField("n")
+	f.Add(doc("a", map[string]any{"n": int64(1)}))
+	f.Add(doc("b", map[string]any{"n": float64(1)}))
+	// 1 and 1.0 are deep-equal in the document model and must share a key.
+	wantIDs(t, f.ProbeEq(int64(1)), "a", "b")
+	wantIDs(t, f.ProbeEq(float64(1)), "a", "b")
+}
+
+func TestMultikeyArrayMembership(t *testing.T) {
+	f := NewField("tags")
+	f.Add(doc("a", map[string]any{"tags": []any{"x", "y"}}))
+	f.Add(doc("b", map[string]any{"tags": "x"}))
+	f.Add(doc("c", map[string]any{"tags": []any{"y"}}))
+
+	// Scalar equality probes see both exact values and array members.
+	wantIDs(t, f.ProbeEq("x"), "a", "b")
+	wantIDs(t, f.ProbeEq("y"), "a", "c")
+	// Array equality probes must not see element postings.
+	wantIDs(t, f.ProbeEq([]any{"x", "y"}), "a")
+	// Containment sees only element postings.
+	wantIDs(t, f.ProbeContains("x"), "a")
+	wantIDs(t, f.ProbeContains("y"), "a", "c")
+}
+
+func TestRemoveMaintainsPostings(t *testing.T) {
+	f := NewField("tags")
+	a := doc("a", map[string]any{"tags": []any{"x", "y"}})
+	b := doc("b", map[string]any{"tags": "x"})
+	f.Add(a)
+	f.Add(b)
+	f.Remove(a)
+	wantIDs(t, f.ProbeEq("x"), "b")
+	wantIDs(t, f.ProbeContains("y"))
+	f.Remove(b)
+	if st := f.Stats(); st.Docs != 0 || st.Distinct != 0 {
+		t.Fatalf("stats after removal = %+v", st)
+	}
+	if len(f.sorted) != 0 {
+		t.Fatalf("sorted slice not drained: %d entries", len(f.sorted))
+	}
+}
+
+func TestRangeScanNumbers(t *testing.T) {
+	f := NewField("n")
+	for i := 0; i < 10; i++ {
+		f.Add(doc(fmt.Sprintf("d%d", i), map[string]any{"n": int64(i)}))
+	}
+	// Values of other type classes must stay out of numeric ranges.
+	f.Add(doc("s", map[string]any{"n": "7"}))
+	f.Add(doc("b", map[string]any{"n": true}))
+
+	wantIDs(t, f.RangeScan(Bound{Value: int64(7), Inclusive: false}, Bound{Unbounded: true}), "d8", "d9")
+	wantIDs(t, f.RangeScan(Bound{Value: int64(7), Inclusive: true}, Bound{Unbounded: true}), "d7", "d8", "d9")
+	wantIDs(t, f.RangeScan(Bound{Unbounded: true}, Bound{Value: int64(2), Inclusive: false}), "d0", "d1")
+	wantIDs(t, f.RangeScan(Bound{Value: int64(3), Inclusive: true}, Bound{Value: int64(5), Inclusive: true}), "d3", "d4", "d5")
+}
+
+func TestRangeScanStrings(t *testing.T) {
+	f := NewField("s")
+	for _, v := range []string{"apple", "apricot", "banana", "cherry"} {
+		f.Add(doc(v, map[string]any{"s": v}))
+	}
+	f.Add(doc("num", map[string]any{"s": int64(5)}))
+
+	wantIDs(t, f.RangeScan(Bound{Value: "ap", Inclusive: true}, Bound{Value: "aq"}), "apple", "apricot")
+	wantIDs(t, f.RangeScan(Bound{Value: "banana", Inclusive: true}, Bound{Unbounded: true}), "banana", "cherry")
+	// Unbounded-low string scans must not leak the numeric segment.
+	wantIDs(t, f.RangeScan(Bound{Unbounded: true}, Bound{Value: "b"}), "apple", "apricot")
+}
+
+func TestRangeScanArraysExcluded(t *testing.T) {
+	f := NewField("n")
+	f.Add(doc("arr", map[string]any{"n": []any{int64(5)}}))
+	f.Add(doc("d", map[string]any{"n": int64(5)}))
+	// Element postings exist under canonical "5" but range scans must only
+	// surface whole scalar values (arrays never satisfy range operators).
+	wantIDs(t, f.RangeScan(Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}), "d")
+}
+
+func TestValueKeys(t *testing.T) {
+	whole, elems := ValueKeys([]any{"a", int64(2)})
+	if whole != document.Canonical([]any{"a", int64(2)}) {
+		t.Fatalf("whole = %q", whole)
+	}
+	if len(elems) != 2 || elems[0] != document.Canonical("a") || elems[1] != document.Canonical(int64(2)) {
+		t.Fatalf("elems = %v", elems)
+	}
+	if _, elems := ValueKeys("scalar"); elems != nil {
+		t.Fatalf("scalar must have no element keys, got %v", elems)
+	}
+}

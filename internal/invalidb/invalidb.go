@@ -148,6 +148,11 @@ type Config struct {
 	// MaxQueries caps the number of active queries (0 = unlimited); this is
 	// the raw capacity behind Quaestor's admission model.
 	MaxQueries int
+	// DisableQueryIndex turns off the per-cell inverted index over
+	// registered queries, so every after-image is tested against every
+	// query — the O(N·Q) baseline. Benchmarks use it to measure the
+	// candidate-pruning speedup.
+	DisableQueryIndex bool
 	// Clock supplies timestamps (default time.Now).
 	Clock func() time.Time
 }
@@ -170,6 +175,7 @@ func (c *Config) withDefaults() Config {
 		out.Buffer = c.Buffer
 	}
 	out.MaxQueries = c.MaxQueries
+	out.DisableQueryIndex = c.DisableQueryIndex
 	if c.Clock != nil {
 		out.Clock = c.Clock
 	}
@@ -188,15 +194,16 @@ type Cluster struct {
 	out  chan Notification
 	done chan struct{}
 
-	mu       sync.Mutex
-	active   map[string]*activeQuery // by query key
-	attached []*attachedStore
-	stopped  bool
-	wg       sync.WaitGroup
-	detected atomic.Uint64
-	ingested atomic.Uint64
-	inflight atomic.Int64 // events accepted but not yet fully matched
-	clock    func() time.Time
+	mu        sync.Mutex
+	active    map[string]*activeQuery // by query key
+	attached  []*attachedStore
+	stopped   bool
+	wg        sync.WaitGroup
+	detected  atomic.Uint64
+	ingested  atomic.Uint64
+	evaluated atomic.Uint64 // candidate query predicate evaluations
+	inflight  atomic.Int64  // events accepted but not yet fully matched
+	clock     func() time.Time
 }
 
 type activeQuery struct {
@@ -485,6 +492,12 @@ func (c *Cluster) MatchingNodes() int {
 func (c *Cluster) Stats() (ingested, notifications uint64) {
 	return c.ingested.Load(), c.detected.Load()
 }
+
+// EvaluatedMatches returns how many (event, query) predicate evaluations
+// the matching tasks have performed. With the inverted query index this
+// counts only candidate queries, so the ratio against
+// ingested × registered queries measures the index's pruning power.
+func (c *Cluster) EvaluatedMatches() uint64 { return c.evaluated.Load() }
 
 // emit delivers a notification, stamping detection time. Blocks for
 // backpressure rather than dropping; drops only during shutdown.

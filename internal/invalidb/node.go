@@ -36,6 +36,9 @@ type nodeQuery struct {
 	// that currently match the query predicate — the per-record "former
 	// matching status" state of Section 4.1, partitioned by record id.
 	wasMatch map[string]struct{}
+	// postings are the inverted-index keys the query is registered under
+	// (nil for residual queries); kept for symmetric removal.
+	postings []query.Posting
 }
 
 // matchNode is one cell of the 2-D matching grid: it owns the queries of
@@ -46,16 +49,30 @@ type matchNode struct {
 	col     int // query partition
 	in      chan nodeMsg
 	queries map[string]*nodeQuery
+	// qidx is the inverted index over registered queries; nil when the
+	// cluster runs with DisableQueryIndex (the scan baseline).
+	qidx *queryIndex
+	// matchedBy is the reverse of the queries' wasMatch sets: document id
+	// → queries currently containing it. It supplies the was-match side of
+	// candidate generation (a query must see the event that makes its
+	// result drop a document even when the after-image no longer carries
+	// the query's posting).
+	matchedBy map[string]map[string]*nodeQuery
 }
 
 func newMatchNode(c *Cluster, row, col, buffer int) *matchNode {
-	return &matchNode{
-		cluster: c,
-		row:     row,
-		col:     col,
-		in:      make(chan nodeMsg, buffer),
-		queries: map[string]*nodeQuery{},
+	n := &matchNode{
+		cluster:   c,
+		row:       row,
+		col:       col,
+		in:        make(chan nodeMsg, buffer),
+		queries:   map[string]*nodeQuery{},
+		matchedBy: map[string]map[string]*nodeQuery{},
 	}
+	if !c.cfg.DisableQueryIndex {
+		n.qidx = newQueryIndex()
+	}
+	return n
 }
 
 func (n *matchNode) run(wg *sync.WaitGroup) {
@@ -76,6 +93,7 @@ func (n *matchNode) handle(m nodeMsg) {
 		n.match(*m.event)
 		n.cluster.inflight.Add(-1)
 	case m.activate != nil:
+		key := m.activate.q.Key()
 		nq := &nodeQuery{
 			q:        m.activate.q,
 			mask:     m.activate.mask,
@@ -85,71 +103,132 @@ func (n *matchNode) handle(m nodeMsg) {
 		}
 		for _, d := range m.activate.initial {
 			nq.wasMatch[d.ID] = struct{}{}
+			n.setMatched(d.ID, key, nq)
 		}
-		n.queries[m.activate.q.Key()] = nq
+		n.queries[key] = nq
+		if n.qidx != nil {
+			n.qidx.add(key, nq)
+		}
 	case m.deactivate != "":
-		delete(n.queries, m.deactivate)
+		if nq, ok := n.queries[m.deactivate]; ok {
+			for id := range nq.wasMatch {
+				n.clearMatched(id, m.deactivate)
+			}
+			if n.qidx != nil {
+				n.qidx.remove(m.deactivate, nq)
+			}
+			delete(n.queries, m.deactivate)
+		}
 	}
 }
 
-// match evaluates one after-image against every registered query — the
-// "Is Match? / Was Match?" decision of Figure 6 — and emits or forwards the
-// resulting add/remove/change events.
+func (n *matchNode) setMatched(docID, key string, nq *nodeQuery) {
+	if n.qidx == nil {
+		return // scan baseline: nothing reads the reverse map
+	}
+	m := n.matchedBy[docID]
+	if m == nil {
+		m = map[string]*nodeQuery{}
+		n.matchedBy[docID] = m
+	}
+	m[key] = nq
+}
+
+func (n *matchNode) clearMatched(docID, key string) {
+	if n.qidx == nil {
+		return
+	}
+	if m, ok := n.matchedBy[docID]; ok {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(n.matchedBy, docID)
+		}
+	}
+}
+
+// match evaluates one after-image against the candidate queries — the
+// "Is Match? / Was Match?" decision of Figure 6 — and emits or forwards
+// the resulting add/remove/change events.
+//
+// With the inverted query index, candidates are the union of (a) queries
+// registered under a posting the after-image carries — covering every
+// possible is-match — and (b) queries currently containing the document —
+// covering every possible was-match — and (c) residual queries with no
+// derivable posting. Any query outside that union can produce neither
+// transition nor change, so skipping it is exact, not approximate.
 func (n *matchNode) match(ev store.ChangeEvent) {
 	docID := ev.After.ID
-	for key, nq := range n.queries {
-		if nq.q.Table != ev.Table {
-			continue
+	if n.qidx == nil {
+		for key, nq := range n.queries {
+			n.matchOne(key, nq, &ev, docID)
 		}
-		if ev.Seq <= nq.asOf {
-			// Already reflected in the activation's initial match set.
-			continue
-		}
-		_, was := nq.wasMatch[docID]
-		is := !ev.Deleted && nq.q.Predicate.Matches(ev.After.Fields)
-		var evType EventType
-		switch {
-		case is && !was:
-			evType = EventAdd
-			nq.wasMatch[docID] = struct{}{}
-		case !is && was:
-			evType = EventRemove
-			delete(nq.wasMatch, docID)
-		case is && was:
-			evType = EventChange
-		default:
-			continue // never matched: irrelevant update
-		}
-
-		if nq.stateful {
-			// The order layer owns windowing; it needs every predicate
-			// transition including changes (a change can reorder results).
-			kind := rawAdd
-			switch evType {
-			case EventRemove:
-				kind = rawRemove
-			case EventChange:
-				kind = rawChange
-			}
-			n.cluster.forwardToOrder(rawEvent{
-				kind:      kind,
-				queryKey:  key,
-				doc:       ev.After,
-				seq:       ev.Seq,
-				eventTime: ev.Time,
-			})
-			continue
-		}
-		if !nq.mask.Has(evType) {
-			continue
-		}
-		n.cluster.emit(Notification{
-			QueryKey:  key,
-			Type:      evType,
-			Doc:       ev.After,
-			Index:     -1,
-			Seq:       ev.Seq,
-			EventTime: ev.Time,
-		})
+		return
 	}
+	cands := make(map[string]*nodeQuery, 1+len(n.qidx.residual))
+	n.qidx.collect(&ev, cands)
+	for key, nq := range n.matchedBy[docID] {
+		cands[key] = nq
+	}
+	for key, nq := range cands {
+		n.matchOne(key, nq, &ev, docID)
+	}
+}
+
+func (n *matchNode) matchOne(key string, nq *nodeQuery, ev *store.ChangeEvent, docID string) {
+	if nq.q.Table != ev.Table {
+		return
+	}
+	if ev.Seq <= nq.asOf {
+		// Already reflected in the activation's initial match set.
+		return
+	}
+	n.cluster.evaluated.Add(1)
+	_, was := nq.wasMatch[docID]
+	is := !ev.Deleted && nq.q.Predicate.Matches(ev.After.Fields)
+	var evType EventType
+	switch {
+	case is && !was:
+		evType = EventAdd
+		nq.wasMatch[docID] = struct{}{}
+		n.setMatched(docID, key, nq)
+	case !is && was:
+		evType = EventRemove
+		delete(nq.wasMatch, docID)
+		n.clearMatched(docID, key)
+	case is && was:
+		evType = EventChange
+	default:
+		return // never matched: irrelevant update
+	}
+
+	if nq.stateful {
+		// The order layer owns windowing; it needs every predicate
+		// transition including changes (a change can reorder results).
+		kind := rawAdd
+		switch evType {
+		case EventRemove:
+			kind = rawRemove
+		case EventChange:
+			kind = rawChange
+		}
+		n.cluster.forwardToOrder(rawEvent{
+			kind:      kind,
+			queryKey:  key,
+			doc:       ev.After,
+			seq:       ev.Seq,
+			eventTime: ev.Time,
+		})
+		return
+	}
+	if !nq.mask.Has(evType) {
+		return
+	}
+	n.cluster.emit(Notification{
+		QueryKey:  key,
+		Type:      evType,
+		Doc:       ev.After,
+		Index:     -1,
+		Seq:       ev.Seq,
+		EventTime: ev.Time,
+	})
 }

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"testing"
+)
+
+// fakeCatalog implements Catalog for planner tests.
+type fakeCatalog struct {
+	docs    int
+	indexes map[string]IndexStats
+}
+
+func (c *fakeCatalog) IndexStats(path string) (IndexStats, bool) {
+	st, ok := c.indexes[path]
+	return st, ok
+}
+
+func (c *fakeCatalog) TableDocs() int { return c.docs }
+
+func TestBuildPlanScanWithoutIndex(t *testing.T) {
+	cat := &fakeCatalog{docs: 1000, indexes: map[string]IndexStats{}}
+	p := BuildPlan(New("t", Eq("color", "red")), cat)
+	if p.Kind != PlanScan || p.EstimatedRows != 1000 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p2 := BuildPlan(New("t", Eq("color", "red")), nil); p2.Kind != PlanScan {
+		t.Fatalf("nil catalog plan = %+v", p2)
+	}
+}
+
+func TestBuildPlanProbe(t *testing.T) {
+	cat := &fakeCatalog{docs: 1000, indexes: map[string]IndexStats{
+		"color": {Docs: 1000, Distinct: 10},
+	}}
+	p := BuildPlan(New("t", Eq("color", "red")), cat)
+	if p.Kind != PlanProbe || p.Path != "color" || p.Op != OpEq {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.EstimatedRows != 100 {
+		t.Fatalf("estimate = %d, want 100", p.EstimatedRows)
+	}
+}
+
+func TestBuildPlanPicksMostSelective(t *testing.T) {
+	cat := &fakeCatalog{docs: 10000, indexes: map[string]IndexStats{
+		"status": {Docs: 10000, Distinct: 2},    // ≈5000 per value
+		"userId": {Docs: 10000, Distinct: 5000}, // ≈2 per value
+	}}
+	q := New("t", AndOf(Eq("status", "open"), Eq("userId", "u42")))
+	p := BuildPlan(q, cat)
+	if p.Kind != PlanProbe || p.Path != "userId" {
+		t.Fatalf("planner picked %q (%+v), want userId", p.Path, p)
+	}
+}
+
+func TestBuildPlanRangeMergesBounds(t *testing.T) {
+	cat := &fakeCatalog{docs: 1200, indexes: map[string]IndexStats{
+		"age": {Docs: 1200, Distinct: 80},
+	}}
+	q := New("t", AndOf(Gt("age", int64(30)), Lte("age", int64(50))))
+	p := BuildPlan(q, cat)
+	if p.Kind != PlanRange || p.Path != "age" {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Lo.Unbounded || p.Hi.Unbounded {
+		t.Fatalf("bounds not merged: %+v", p)
+	}
+	if p.Lo.Inclusive || !p.Hi.Inclusive {
+		t.Fatalf("bound inclusivity wrong: lo=%+v hi=%+v", p.Lo, p.Hi)
+	}
+}
+
+func TestBuildPlanPrefix(t *testing.T) {
+	cat := &fakeCatalog{docs: 500, indexes: map[string]IndexStats{
+		"name": {Docs: 500, Distinct: 400},
+	}}
+	p := BuildPlan(New("t", Prefix("name", "ab")), cat)
+	if p.Kind != PlanRange {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Lo.Value != "ab" || !p.Lo.Inclusive {
+		t.Fatalf("lo = %+v", p.Lo)
+	}
+	if p.Hi.Unbounded || p.Hi.Value != "ac" || p.Hi.Inclusive {
+		t.Fatalf("hi = %+v", p.Hi)
+	}
+}
+
+func TestBuildPlanInEstimate(t *testing.T) {
+	cat := &fakeCatalog{docs: 1000, indexes: map[string]IndexStats{
+		"tag": {Docs: 1000, Distinct: 100},
+	}}
+	p := BuildPlan(New("t", In("tag", "a", "b", "c")), cat)
+	if p.Kind != PlanProbe || len(p.Values) != 3 || p.EstimatedRows != 30 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestBuildPlanUnsargable(t *testing.T) {
+	cat := &fakeCatalog{docs: 100, indexes: map[string]IndexStats{
+		"a": {Docs: 100, Distinct: 10},
+	}}
+	for _, pred := range []Predicate{
+		NotOf(Eq("a", int64(1))),                   // negation
+		OrOf(Eq("a", int64(1)), Eq("b", int64(2))), // disjunction
+		Exists("a", true),                          // presence check
+		True{},                                     // match-all
+	} {
+		if p := BuildPlan(New("t", pred), cat); p.Kind != PlanScan {
+			t.Fatalf("predicate %v planned %+v, want scan", pred, p)
+		}
+	}
+	// But an indexable conjunct beside an unsargable sibling is usable.
+	q := New("t", AndOf(Eq("a", int64(1)), NotOf(Eq("b", int64(2)))))
+	if p := BuildPlan(q, cat); p.Kind != PlanProbe || p.Path != "a" {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := map[string]string{"ab": "ac", "a\xff": "b", "z": "{"}
+	for in, want := range cases {
+		got, ok := prefixSuccessor(in)
+		if !ok || got != want {
+			t.Errorf("prefixSuccessor(%q) = %q, %v; want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := prefixSuccessor("\xff\xff"); ok {
+		t.Error("all-0xff prefix must have no successor")
+	}
+	if _, ok := prefixSuccessor(""); ok {
+		t.Error("empty prefix must have no successor")
+	}
+}
+
+func TestRequiredPostingsField(t *testing.T) {
+	ps, ok := RequiredPostings(Eq("color", "red"))
+	if !ok || len(ps) != 1 || ps[0].Path != "color" {
+		t.Fatalf("postings = %v, %v", ps, ok)
+	}
+	ps, ok = RequiredPostings(In("tag", "a", "b"))
+	if !ok || len(ps) != 2 {
+		t.Fatalf("postings = %v, %v", ps, ok)
+	}
+	ps, ok = RequiredPostings(Contains("tags", "x"))
+	if !ok || len(ps) != 1 {
+		t.Fatalf("postings = %v, %v", ps, ok)
+	}
+	// Empty $in matches nothing: empty posting set, still indexable.
+	ps, ok = RequiredPostings(In("tag"))
+	if !ok || len(ps) != 0 {
+		t.Fatalf("postings = %v, %v", ps, ok)
+	}
+	if _, ok := RequiredPostings(Gt("age", int64(3))); ok {
+		t.Fatal("range operators must not be posting-indexable")
+	}
+	if _, ok := RequiredPostings(NotOf(Eq("a", int64(1)))); ok {
+		t.Fatal("negations must not be posting-indexable")
+	}
+}
+
+func TestRequiredPostingsAndPicksFewest(t *testing.T) {
+	p := AndOf(In("tag", "a", "b", "c"), Eq("user", "u1"), Gt("age", int64(3)))
+	ps, ok := RequiredPostings(p)
+	if !ok || len(ps) != 1 || ps[0].Path != "user" {
+		t.Fatalf("postings = %v, %v; want single user posting", ps, ok)
+	}
+}
+
+func TestRequiredPostingsOrUnion(t *testing.T) {
+	p := OrOf(Eq("tag", "a"), Eq("user", "u1"))
+	ps, ok := RequiredPostings(p)
+	if !ok || len(ps) != 2 {
+		t.Fatalf("postings = %v, %v", ps, ok)
+	}
+	// A disjunction with one unindexable branch is not indexable at all.
+	if _, ok := RequiredPostings(OrOf(Eq("tag", "a"), Gt("age", int64(1)))); ok {
+		t.Fatal("or with range branch must not be indexable")
+	}
+}

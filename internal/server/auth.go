@@ -89,7 +89,8 @@ func requiredRole(r *http.Request) Role {
 	}
 	switch {
 	case strings.HasPrefix(r.URL.Path, "/v1/tables/"),
-		strings.HasPrefix(r.URL.Path, "/v1/schema/"):
+		strings.HasPrefix(r.URL.Path, "/v1/schema/"),
+		strings.HasPrefix(r.URL.Path, "/v1/indexes/"):
 		return RoleAdmin
 	default:
 		return RoleWriter

@@ -27,7 +27,9 @@ import (
 //	DELETE /v1/db/{table}/{id}         — delete record
 //	POST   /v1/db/{table}              — insert record
 //	GET    /v1/db/{table}?q=…&sort=…&limit=…&offset=… — query (cacheable)
-//	GET    /v1/stats                   — server statistics
+//	POST   /v1/indexes/{table}         — create secondary index ({"path": …})
+//	GET    /v1/indexes/{table}         — list indexed field paths
+//	GET    /v1/stats                   — server statistics (incl. plan counts)
 //	POST   /v1/transaction             — BOCC transaction commit
 //	GET    /v1/subscribe?table=…&q=…   — SSE query change stream
 //
@@ -38,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/ebf", s.handleEBF)
 	mux.HandleFunc("/v1/tables/", s.handleTables)
 	mux.HandleFunc("/v1/db/", s.handleDB)
+	mux.HandleFunc("/v1/indexes/", s.handleIndexes)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/transaction", s.handleTxn)
 	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
@@ -144,6 +147,40 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"table": table})
+}
+
+// handleIndexes serves index administration: POST creates an index from a
+// {"path": "field.path"} body, GET lists the table's indexed paths.
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	table := strings.TrimPrefix(r.URL.Path, "/v1/indexes/")
+	if table == "" || strings.Contains(table, "/") {
+		writeError(w, badRequest("invalid table name %q", table))
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			Path string `json:"path"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Path == "" {
+			writeError(w, badRequest("body must be {\"path\": \"field.path\"}"))
+			return
+		}
+		if err := s.CreateIndex(table, body.Path); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"table": table, "path": body.Path})
+	case http.MethodGet:
+		paths, err := s.Indexes(table)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"table": table, "paths": paths})
+	default:
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST only"})
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

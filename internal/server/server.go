@@ -15,6 +15,7 @@ import (
 	"quaestor/internal/document"
 	"quaestor/internal/ebf"
 	"quaestor/internal/invalidb"
+	"quaestor/internal/metrics"
 	"quaestor/internal/query"
 	"quaestor/internal/store"
 	"quaestor/internal/ttl"
@@ -136,6 +137,11 @@ type Stats struct {
 	Invalidations    uint64
 	Purges           uint64
 	RejectedQueries  uint64 // not admitted to caching
+	// Access-plan choices made by the query planner, so Figure-8-style
+	// experiments can attribute query latency to the path taken.
+	PlanProbes uint64 // hash-index equality/IN/CONTAINS probes
+	PlanRanges uint64 // ordered-index range scans
+	PlanScans  uint64 // full table scans
 }
 
 // Server is the Quaestor middleware instance.
@@ -172,6 +178,13 @@ type Server struct {
 	invalidations    atomic.Uint64
 	purges           atomic.Uint64
 	rejected         atomic.Uint64
+	planProbes       atomic.Uint64
+	planRanges       atomic.Uint64
+	planScans        atomic.Uint64
+
+	// planLatency holds one histogram per plan kind (scan/probe/range) so
+	// experiments can attribute query latency to the chosen access path.
+	planLatency [3]*metrics.Histogram
 }
 
 // New assembles a server around an existing document store. The server
@@ -215,6 +228,9 @@ func New(db *store.Store, opts *Options) *Server {
 		registered: map[string]bool{},
 		schemas:    newSchemaRegistry(),
 		notifyDone: make(chan struct{}),
+	}
+	for i := range s.planLatency {
+		s.planLatency[i] = metrics.NewHistogram()
 	}
 	s.detachStore = s.inv.AttachStore(db)
 	go s.notificationLoop()
@@ -275,7 +291,40 @@ func (s *Server) Stats() Stats {
 		Invalidations:    s.invalidations.Load(),
 		Purges:           s.purges.Load(),
 		RejectedQueries:  s.rejected.Load(),
+		PlanProbes:       s.planProbes.Load(),
+		PlanRanges:       s.planRanges.Load(),
+		PlanScans:        s.planScans.Load(),
 	}
+}
+
+// CreateIndex builds a secondary index on the underlying store; subsequent
+// queries sargable on the path route through it.
+func (s *Server) CreateIndex(table, path string) error {
+	return s.db.CreateIndex(table, path)
+}
+
+// Indexes lists a table's indexed field paths.
+func (s *Server) Indexes(table string) ([]string, error) {
+	return s.db.Indexes(table)
+}
+
+// PlanLatency returns the latency histogram for one plan kind, letting the
+// evaluation harness attribute query latency to the access path taken.
+func (s *Server) PlanLatency(kind query.PlanKind) *metrics.Histogram {
+	return s.planLatency[kind]
+}
+
+// recordPlan attributes one query execution to its plan choice.
+func (s *Server) recordPlan(plan query.Plan, elapsed time.Duration) {
+	switch plan.Kind {
+	case query.PlanProbe:
+		s.planProbes.Add(1)
+	case query.PlanRange:
+		s.planRanges.Add(1)
+	default:
+		s.planScans.Add(1)
+	}
+	s.planLatency[plan.Kind].Observe(elapsed)
 }
 
 // RecordKey is the EBF/cache key of a record.
@@ -369,10 +418,12 @@ func (s *Server) Query(q *query.Query) (QueryResult, error) {
 	// Capture the change-stream position before evaluating so activation
 	// can replay the gap.
 	asOf := s.db.LastSeq()
-	docs, err := s.db.Query(q)
+	start := s.opts.Clock()
+	docs, plan, err := s.db.QueryPlanned(q)
 	if err != nil {
 		return QueryResult{}, err
 	}
+	s.recordPlan(plan, s.opts.Clock().Sub(start))
 	s.queries.Add(1)
 
 	key := q.Key()

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+)
+
+// fill populates a table with n docs: n/colors per color, sequential rank,
+// and a two-element tags array.
+func fill(t *testing.T, s *Store, table string, n int) {
+	t.Helper()
+	colors := []string{"red", "green", "blue", "cyan", "black"}
+	for i := 0; i < n; i++ {
+		doc := document.New(fmt.Sprintf("d%04d", i), map[string]any{
+			"color": colors[i%len(colors)],
+			"rank":  int64(i),
+			"tags":  []any{fmt.Sprintf("t%d", i%10), "all"},
+		})
+		if err := s.Insert(table, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCreateIndexAndExplain(t *testing.T) {
+	s := Open(nil)
+	defer s.Close()
+	if err := s.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, "docs", 100)
+	if err := s.CreateIndex("docs", "color"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("docs", "color"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("docs", "rank"); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := s.Indexes("docs")
+	if err != nil || len(paths) != 2 || paths[0] != "color" || paths[1] != "rank" {
+		t.Fatalf("indexes = %v, %v", paths, err)
+	}
+
+	cases := []struct {
+		q    *query.Query
+		kind query.PlanKind
+	}{
+		{query.New("docs", query.Eq("color", "red")), query.PlanProbe},
+		{query.New("docs", query.Gt("rank", int64(50))), query.PlanRange},
+		{query.New("docs", query.Eq("tags", "all")), query.PlanScan}, // unindexed path
+		{query.New("docs", nil), query.PlanScan},
+	}
+	for _, c := range cases {
+		plan, err := s.Explain(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kind != c.kind {
+			t.Errorf("%s planned %s (%s), want %s", c.q.Key(), plan.Kind, plan.Reason, c.kind)
+		}
+	}
+}
+
+// queriesAgree asserts the planner path and the scan path return identical
+// ordered id lists.
+func queriesAgree(t *testing.T, s *Store, q *query.Query) {
+	t.Helper()
+	planned, plan, err := s.QueryPlanned(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := s.ScanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planned) != len(scanned) {
+		t.Fatalf("%s (%s): planned %d docs, scan %d", q.Key(), plan.Kind, len(planned), len(scanned))
+	}
+	for i := range planned {
+		if planned[i].ID != scanned[i].ID || planned[i].Version != scanned[i].Version {
+			t.Fatalf("%s (%s): result %d differs: %s/v%d vs %s/v%d",
+				q.Key(), plan.Kind, i, planned[i].ID, planned[i].Version, scanned[i].ID, scanned[i].Version)
+		}
+	}
+}
+
+func TestIndexedQueryMatchesScan(t *testing.T) {
+	s := Open(nil)
+	defer s.Close()
+	if err := s.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, "docs", 500)
+	for _, path := range []string{"color", "rank", "tags"} {
+		if err := s.CreateIndex("docs", path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	queries := []*query.Query{
+		query.New("docs", query.Eq("color", "red")),
+		query.New("docs", query.Eq("color", "nope")),
+		query.New("docs", query.In("color", "red", "blue")),
+		query.New("docs", query.Contains("tags", "t3")),
+		query.New("docs", query.Eq("tags", "all")), // array membership via equality
+		query.New("docs", query.Gt("rank", int64(450))),
+		query.New("docs", query.AndOf(query.Gte("rank", int64(100)), query.Lt("rank", int64(120)))),
+		query.New("docs", query.AndOf(query.Eq("color", "green"), query.Gt("rank", int64(50)))),
+		query.New("docs", query.Eq("color", "red")).Sorted(query.Desc("rank")).Sliced(2, 5),
+	}
+	for _, q := range queries {
+		queriesAgree(t, s, q)
+	}
+}
+
+// TestIndexedQueryHugeInt64 pins the probe-completeness fix for int64
+// values beyond float64's exact range: the document model's equality folds
+// numerics through float64 (1<<60 and (1<<60)+1 are DeepEqual), so index
+// keys must fold the same way or a probe drops documents a scan returns.
+func TestIndexedQueryHugeInt64(t *testing.T) {
+	s := Open(nil)
+	defer s.Close()
+	if err := s.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("docs", document.New("big", map[string]any{"rank": int64(1) << 60})); err != nil {
+		t.Fatal(err)
+	}
+	// Filler docs keep the probe estimate below the scan estimate so the
+	// planner actually chooses the index path.
+	for i := 0; i < 64; i++ {
+		if err := s.Insert("docs", document.New(fmt.Sprintf("f%d", i), map[string]any{"rank": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreateIndex("docs", "rank"); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("docs", query.Eq("rank", int64(1)<<60+1))
+	queriesAgree(t, s, q)
+	docs, plan, err := s.QueryPlanned(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != query.PlanProbe {
+		t.Fatalf("plan = %+v, want probe", plan)
+	}
+	if len(docs) != 1 || docs[0].ID != "big" {
+		t.Fatalf("probe returned %d docs, want the Compare-equal big doc", len(docs))
+	}
+}
+
+func TestIndexMaintainedAcrossWrites(t *testing.T) {
+	s := Open(nil)
+	defer s.Close()
+	if err := s.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("docs", "color"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("docs", document.New("a", map[string]any{"color": "red"})); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("docs", query.Eq("color", "red"))
+
+	// Update moves the doc to another value: old posting must disappear.
+	if _, err := s.Update("docs", "a", UpdateSpec{Set: map[string]any{"color": "blue"}}); err != nil {
+		t.Fatal(err)
+	}
+	queriesAgree(t, s, q)
+	if docs, _ := s.Query(q); len(docs) != 0 {
+		t.Fatalf("red still matches %d docs after update", len(docs))
+	}
+
+	// Put (upsert) back to red.
+	if err := s.Put("docs", document.New("a", map[string]any{"color": "red"})); err != nil {
+		t.Fatal(err)
+	}
+	if docs, _ := s.Query(q); len(docs) != 1 {
+		t.Fatal("red must match after put")
+	}
+
+	// Delete drops the posting.
+	if err := s.Delete("docs", "a"); err != nil {
+		t.Fatal(err)
+	}
+	queriesAgree(t, s, q)
+	if docs, _ := s.Query(q); len(docs) != 0 {
+		t.Fatal("deleted doc still indexed")
+	}
+
+	// Unset removes the field entirely: doc leaves the index.
+	if err := s.Insert("docs", document.New("b", map[string]any{"color": "red"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update("docs", "b", UpdateSpec{Unset: []string{"color"}}); err != nil {
+		t.Fatal(err)
+	}
+	queriesAgree(t, s, q)
+}

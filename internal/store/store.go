@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"quaestor/internal/document"
+	"quaestor/internal/index"
 	"quaestor/internal/query"
 )
 
@@ -130,11 +131,35 @@ type Store struct {
 type table struct {
 	name   string
 	shards []*shard
+
+	// idxMu guards indexPaths, the list of secondary-indexed field paths.
+	// The per-shard index structures themselves live in the shards and are
+	// guarded by the shard locks.
+	idxMu      sync.RWMutex
+	indexPaths []string
 }
 
 type shard struct {
 	mu   sync.RWMutex
 	docs map[string]*document.Document
+	// indexes maps field path → secondary index over this shard's
+	// documents. Maintained inside every write's critical section, so an
+	// index is always exactly consistent with docs under the shard lock.
+	indexes map[string]*index.Field
+}
+
+// indexAdd posts doc to every index. Caller holds sh.mu.
+func (sh *shard) indexAdd(doc *document.Document) {
+	for _, ix := range sh.indexes {
+		ix.Add(doc)
+	}
+}
+
+// indexRemove drops doc's postings from every index. Caller holds sh.mu.
+func (sh *shard) indexRemove(doc *document.Document) {
+	for _, ix := range sh.indexes {
+		ix.Remove(doc)
+	}
 }
 
 // Open creates an empty store. A nil opts uses defaults.
@@ -173,7 +198,7 @@ func (s *Store) CreateTable(name string) error {
 	}
 	t := &table{name: name, shards: make([]*shard, s.opts.ShardsPerTable)}
 	for i := range t.shards {
-		t.shards[i] = &shard{docs: map[string]*document.Document{}}
+		t.shards[i] = &shard{docs: map[string]*document.Document{}, indexes: map[string]*index.Field{}}
 	}
 	s.tables[name] = t
 	return nil
@@ -232,6 +257,7 @@ func (s *Store) Insert(tableName string, doc *document.Document) error {
 	stored := doc.Clone()
 	stored.Version = 1
 	sh.docs[doc.ID] = stored
+	sh.indexAdd(stored)
 	after := stored.Clone()
 	sh.mu.Unlock()
 
@@ -279,10 +305,12 @@ func (s *Store) Put(tableName string, doc *document.Document) error {
 		before = prev.Clone()
 		stored.Version = prev.Version + 1
 		op = OpUpdate
+		sh.indexRemove(prev)
 	} else {
 		stored.Version = 1
 	}
 	sh.docs[doc.ID] = stored
+	sh.indexAdd(stored)
 	after := stored.Clone()
 	sh.mu.Unlock()
 
@@ -331,7 +359,9 @@ func (s *Store) Update(tableName, id string, spec UpdateSpec) (*document.Documen
 		return nil, err
 	}
 	next.Version = prev.Version + 1
+	sh.indexRemove(prev)
 	sh.docs[id] = next
+	sh.indexAdd(next)
 	after := next.Clone()
 	sh.mu.Unlock()
 
@@ -422,6 +452,7 @@ func (s *Store) Delete(tableName, id string) error {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, tableName, id)
 	}
 	delete(sh.docs, id)
+	sh.indexRemove(prev)
 	before := prev.Clone()
 	sh.mu.Unlock()
 
@@ -430,9 +461,187 @@ func (s *Store) Delete(tableName, id string) error {
 	return nil
 }
 
+// CreateIndex builds a secondary index over a dotted field path and keeps
+// it maintained by every subsequent write. Creating an existing index is a
+// no-op. The build takes each shard's write lock in turn, so it is exactly
+// consistent with concurrent writes without stopping the world.
+func (s *Store) CreateIndex(tableName, path string) error {
+	if path == "" {
+		return fmt.Errorf("%w: empty index path", ErrBadUpdateSpec)
+	}
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.idxMu.Lock()
+	for _, p := range t.indexPaths {
+		if p == path {
+			t.idxMu.Unlock()
+			return nil
+		}
+	}
+	t.indexPaths = append(t.indexPaths, path)
+	sort.Strings(t.indexPaths)
+	t.idxMu.Unlock()
+
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		if _, ok := sh.indexes[path]; !ok {
+			ix := index.NewField(path)
+			for _, d := range sh.docs {
+				ix.Add(d)
+			}
+			sh.indexes[path] = ix
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Indexes returns the sorted indexed field paths of a table.
+func (s *Store) Indexes(tableName string) ([]string, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return append([]string(nil), t.indexPaths...), nil
+}
+
+// IndexStats implements query.Catalog by aggregating per-shard statistics.
+func (t *table) IndexStats(path string) (query.IndexStats, bool) {
+	t.idxMu.RLock()
+	known := false
+	for _, p := range t.indexPaths {
+		if p == path {
+			known = true
+			break
+		}
+	}
+	t.idxMu.RUnlock()
+	if !known {
+		return query.IndexStats{}, false
+	}
+	// Distinct counts are not additive across shards: a value present in k
+	// shards would be counted k times, deflating the bucket estimate. Sum
+	// the per-shard expected bucket sizes instead (a value present in a
+	// shard contributes that shard's docs/distinct on average) and derive a
+	// global distinct count consistent with it.
+	var docs int
+	var estRows float64
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		if ix, ok := sh.indexes[path]; ok {
+			s := ix.Stats()
+			docs += s.Docs
+			if s.Distinct > 0 {
+				estRows += float64(s.Docs) / float64(s.Distinct)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	st := query.IndexStats{Docs: docs, Distinct: docs}
+	if estRows >= 1 {
+		if d := int(float64(docs) / estRows); d >= 1 {
+			st.Distinct = d
+		} else {
+			st.Distinct = 1
+		}
+	}
+	return st, true
+}
+
+// TableDocs implements query.Catalog.
+func (t *table) TableDocs() int {
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // Query evaluates q against its table and returns deep copies of the
-// matching documents in the query's order.
+// matching documents in the query's order. Reads route through the
+// planner: when a usable index exists the executor probes or range-scans
+// it instead of scanning the table.
 func (s *Store) Query(q *query.Query) ([]*document.Document, error) {
+	docs, _, err := s.QueryPlanned(q)
+	return docs, err
+}
+
+// QueryPlanned evaluates q and additionally reports the access plan the
+// planner chose, so callers can attribute latency to plan kinds.
+func (s *Store) QueryPlanned(q *query.Query) ([]*document.Document, query.Plan, error) {
+	t, err := s.table(q.Table)
+	if err != nil {
+		return nil, query.Plan{}, err
+	}
+	plan := query.BuildPlan(q, t)
+	if plan.Kind == query.PlanScan {
+		docs, err := s.ScanQuery(q)
+		return docs, plan, err
+	}
+	var candidates []*document.Document
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		ids := sh.lookup(plan)
+		seen := make(map[string]struct{}, len(ids))
+		for _, id := range ids {
+			// Multi-value probes can yield one id several times.
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			// Candidates are a superset; re-verify the full predicate
+			// before paying for the clone.
+			if d, ok := sh.docs[id]; ok && q.Matches(d) {
+				candidates = append(candidates, d.Clone())
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return q.Apply(candidates), plan, nil
+}
+
+// lookup resolves a non-scan plan to candidate ids. Caller holds sh.mu.
+func (sh *shard) lookup(plan query.Plan) []string {
+	ix, ok := sh.indexes[plan.Path]
+	if !ok {
+		// The index vanished between planning and execution (possible only
+		// around concurrent CreateIndex); degrade to scanning this shard.
+		ids := make([]string, 0, len(sh.docs))
+		for id := range sh.docs {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	switch plan.Kind {
+	case query.PlanProbe:
+		if plan.Op == query.OpContains {
+			return ix.ProbeContains(plan.Values[0])
+		}
+		var ids []string
+		for _, v := range plan.Values {
+			ids = append(ids, ix.ProbeEq(v)...)
+		}
+		return ids
+	case query.PlanRange:
+		return ix.RangeScan(toIndexBound(plan.Lo), toIndexBound(plan.Hi))
+	}
+	return nil
+}
+
+func toIndexBound(b query.Bound) index.Bound {
+	return index.Bound{Value: b.Value, Inclusive: b.Inclusive, Unbounded: b.Unbounded}
+}
+
+// ScanQuery evaluates q by full table scan, bypassing the planner. It is
+// the correctness baseline the planner's property tests and benchmarks
+// compare against.
+func (s *Store) ScanQuery(q *query.Query) ([]*document.Document, error) {
 	t, err := s.table(q.Table)
 	if err != nil {
 		return nil, err
@@ -448,6 +657,16 @@ func (s *Store) Query(q *query.Query) ([]*document.Document, error) {
 		sh.mu.RUnlock()
 	}
 	return q.Apply(candidates), nil
+}
+
+// Explain returns the access plan the planner would choose for q right
+// now, without executing it.
+func (s *Store) Explain(q *query.Query) (query.Plan, error) {
+	t, err := s.table(q.Table)
+	if err != nil {
+		return query.Plan{}, err
+	}
+	return query.BuildPlan(q, t), nil
 }
 
 // Count returns the number of documents in a table.
