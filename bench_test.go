@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"quaestor/internal/sim"
 	"quaestor/internal/store"
 	"quaestor/internal/ttl"
+	"quaestor/internal/wal"
 	"quaestor/internal/workload"
 )
 
@@ -160,7 +162,7 @@ const benchDocs = 10000
 // routes the benchmark queries through probe/range paths.
 func newBenchStore(b *testing.B, indexed bool) *store.Store {
 	b.Helper()
-	s := store.Open(nil)
+	s := store.MustOpen(nil)
 	b.Cleanup(s.Close)
 	if err := s.CreateTable("docs"); err != nil {
 		b.Fatal(err)
@@ -348,5 +350,136 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		if m.Ops == 0 {
 			b.Fatal("no ops simulated")
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Durability benchmarks: the WAL's group-committed append path, and the
+// store's end-to-end write path across fsync policies. The acceptance
+// targets are fsyncs-per-write < 1 with 64 concurrent writers under
+// fsync=always (group commit batches), and fsync=never staying within 2x
+// of the pure in-memory write path.
+
+// benchWALRecord builds a representative put record.
+func benchWALRecord(seq uint64, id string) wal.Record {
+	return wal.Record{Seq: seq, Kind: wal.KindPut, Table: "docs",
+		Doc: document.New(id, map[string]any{"tag": "tag001", "rank": int64(seq), "tags": []any{"t001", "all"}})}
+}
+
+// BenchmarkWALAppendSerial measures a lone writer appending under each
+// fsync policy — the un-batched worst case for fsync=always.
+func BenchmarkWALAppendSerial(b *testing.B) {
+	for _, policy := range []wal.FsyncPolicy{wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNever} {
+		b.Run(policy.String(), func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), &wal.Options{Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(benchWALRecord(uint64(i+1), "d00001")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppendConcurrent measures 64 concurrent appenders: group
+// commit batches them into far fewer writes+fsyncs than appends.
+func BenchmarkWALAppendConcurrent(b *testing.B) {
+	for _, policy := range []wal.FsyncPolicy{wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNever} {
+		b.Run(policy.String(), func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), &wal.Options{Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			var seq atomic.Uint64
+			b.ReportAllocs()
+			b.SetParallelism(64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := l.Append(benchWALRecord(seq.Add(1), "d00001")); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := l.Stats()
+			if st.Appends > 0 {
+				b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/op")
+				b.ReportMetric(st.MeanBatch, "records/batch")
+			}
+		})
+	}
+}
+
+// benchWriteStore opens a store for the write-path comparison: mode "" is
+// in-memory, anything else is a WAL fsync policy.
+func benchWriteStore(b *testing.B, mode string) *store.Store {
+	b.Helper()
+	opts := &store.Options{}
+	if mode != "" {
+		policy, err := wal.ParseFsyncPolicy(mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.DataDir = b.TempDir()
+		opts.Durability = store.Durability{Fsync: policy}
+	}
+	s, err := store.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	if err := s.CreateTable("docs"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkStoreWrite compares the store's end-to-end write path:
+// in-memory vs the WAL under each fsync policy, serial and with 64
+// concurrent writers.
+func BenchmarkStoreWrite(b *testing.B) {
+	for _, mode := range []string{"memory", "never", "interval", "always"} {
+		walMode := mode
+		if mode == "memory" {
+			walMode = ""
+		}
+		b.Run(mode+"/serial", func(b *testing.B) {
+			s := benchWriteStore(b, walMode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Put("docs", document.New(fmt.Sprintf("d%07d", i), map[string]any{"rank": int64(i)})); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(mode+"/writers-64", func(b *testing.B) {
+			s := benchWriteStore(b, walMode)
+			var n atomic.Uint64
+			b.ReportAllocs()
+			b.SetParallelism(64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := n.Add(1)
+					if err := s.Put("docs", document.New(fmt.Sprintf("d%07d", i), map[string]any{"rank": int64(i)})); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if st, ok := s.DurabilityStats(); ok && st.WAL.Appends > 0 {
+				b.ReportMetric(float64(st.WAL.Fsyncs)/float64(st.WAL.Appends), "fsyncs/op")
+				b.ReportMetric(st.WAL.MeanBatch, "records/batch")
+			}
+		})
 	}
 }

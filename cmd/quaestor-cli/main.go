@@ -19,6 +19,8 @@
 //	file-get <name>                      print file content
 //	ebf                                  show the current filter's metadata
 //	stats                                server statistics
+//	snapshot                             snapshot the durable store (truncates WAL)
+//	wal-info                             durability state: segments, batches, recovery
 //
 // A bearer token for servers with authorization enabled is passed via
 // -token.
@@ -36,6 +38,7 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"time"
 
 	"quaestor/internal/bloom"
 	"quaestor/internal/server"
@@ -86,6 +89,10 @@ func main() {
 		err = c.ebf()
 	case "stats":
 		err = c.get("/v1/stats")
+	case "snapshot":
+		err = c.simple(http.MethodPost, "/v1/admin/snapshot", nil)
+	case "wal-info":
+		err = c.walInfo()
 	default:
 		fail("unknown command %q", cmd)
 	}
@@ -261,5 +268,42 @@ func (c *cli) ebf() error {
 	fmt.Printf("stale entries: %d\n", body.Entries)
 	fmt.Printf("set bits: %d (%.2f%% load)\n", f.PopCount(), 100*float64(f.PopCount())/float64(f.M()))
 	fmt.Printf("estimated false positive rate: %.4f\n", f.EstimatedFalsePositiveRate())
+	return nil
+}
+
+func (c *cli) walInfo() error {
+	resp, err := c.request(http.MethodGet, "/v1/stats", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	d := body.Durability
+	if d == nil {
+		fmt.Println("store is in-memory (server started without -data-dir)")
+		return nil
+	}
+	fmt.Printf("data dir: %s\n", d.DataDir)
+	fmt.Printf("wal: %d segment(s), %d bytes, fsync=%s\n", d.WAL.Segments, d.WAL.SegmentBytes, d.WAL.Fsync)
+	fmt.Printf("appends: %d in %d batches (%.2f records/batch), %d fsyncs\n",
+		d.WAL.Appends, d.WAL.Batches, d.WAL.MeanBatch, d.WAL.Fsyncs)
+	for _, b := range d.WAL.BatchSizes {
+		if b.Le == 0 {
+			fmt.Printf("  batch >1024: %d\n", b.Count)
+		} else {
+			fmt.Printf("  batch ≤%4d: %d\n", b.Le, b.Count)
+		}
+	}
+	if s := d.LastSnapshot; s != nil {
+		fmt.Printf("last snapshot: seq %d, %d docs, %d bytes at %s\n", s.Seq, s.Docs, s.Bytes, s.At.Format(time.RFC3339))
+	} else {
+		fmt.Println("last snapshot: none")
+	}
+	r := d.Recovery
+	fmt.Printf("recovery: %d docs from snapshot (seq %d) + %d log records, torn tail: %v, last seq %d, %.1fms\n",
+		r.SnapshotDocs, r.SnapshotSeq, r.ReplayedRecords, r.TornTail, r.LastSeq, r.TookMs)
 	return nil
 }

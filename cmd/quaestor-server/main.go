@@ -1,14 +1,20 @@
 // Command quaestor-server runs a standalone Quaestor DBaaS node: the REST
-// API over an in-memory sharded document store, with the Expiring Bloom
-// Filter, TTL estimation and an embedded InvaliDB cluster. Put any HTTP
-// caches (CDN, reverse proxy such as Varnish, browser caches) in front —
-// responses carry standard Cache-Control/ETag headers, and the server
-// purges registered reverse proxies on invalidation.
+// API over a sharded document store, with the Expiring Bloom Filter, TTL
+// estimation and an embedded InvaliDB cluster. Put any HTTP caches (CDN,
+// reverse proxy such as Varnish, browser caches) in front — responses
+// carry standard Cache-Control/ETag headers, and the server purges
+// registered reverse proxies on invalidation.
+//
+// With -data-dir the store is durable: writes go through a segmented
+// group-commit WAL before they are acknowledged, POST /v1/admin/snapshot
+// takes point-in-time snapshots, and restart recovers snapshot + log
+// tail (see /v1/stats for the recovery and WAL counters).
 //
 // Usage:
 //
 //	quaestor-server -addr :8080 -tables posts,users \
-//	    -query-partitions 4 -object-partitions 2 -mode quaestor
+//	    -query-partitions 4 -object-partitions 2 -mode quaestor \
+//	    -data-dir ./data -fsync always
 package main
 
 import (
@@ -17,10 +23,12 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"quaestor/internal/invalidb"
 	"quaestor/internal/server"
 	"quaestor/internal/store"
+	"quaestor/internal/wal"
 )
 
 func main() {
@@ -32,6 +40,10 @@ func main() {
 	maxQueries := flag.Int("max-queries", 10000, "InvaliDB active query capacity (0 = unlimited)")
 	modeName := flag.String("mode", "quaestor", "cache mode: quaestor, cdn-only, client-only, uncached")
 	shards := flag.Int("shards", 16, "store shards per table")
+	dataDir := flag.String("data-dir", "", "enable durability: WAL + snapshots under this directory (empty = in-memory)")
+	fsyncMode := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", 25*time.Millisecond, "max sync lag under -fsync interval")
+	segmentMB := flag.Int64("wal-segment-mb", 8, "WAL segment rotation threshold in MiB")
 	flag.Parse()
 
 	var mode server.CacheMode
@@ -48,8 +60,28 @@ func main() {
 		log.Fatalf("unknown mode %q", *modeName)
 	}
 
-	db := store.Open(&store.Options{ShardsPerTable: *shards})
+	fsync, err := wal.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := store.Open(&store.Options{
+		ShardsPerTable: *shards,
+		DataDir:        *dataDir,
+		Durability: store.Durability{
+			Fsync:         fsync,
+			FsyncInterval: *fsyncInterval,
+			SegmentBytes:  *segmentMB << 20,
+		},
+	})
+	if err != nil {
+		log.Fatalf("opening store: %v", err)
+	}
 	defer db.Close()
+	if st, ok := db.DurabilityStats(); ok {
+		fmt.Printf("durable store at %s (fsync=%s): recovered %d tables, %d docs from snapshot + %d log records (torn tail: %v), last seq %d in %.1fms\n",
+			st.DataDir, fsync, st.Recovery.Tables, st.Recovery.SnapshotDocs,
+			st.Recovery.ReplayedRecords, st.Recovery.TornTail, st.Recovery.LastSeq, st.Recovery.TookMs)
+	}
 	srv := server.New(db, &server.Options{
 		Mode: mode,
 		InvaliDB: &invalidb.Config{

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	if err := db.CreateTable("posts"); err != nil {
 		log.Fatal(err)

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	srv := server.New(db, &server.Options{Mode: server.ModeFull})
 	defer srv.Close()

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	// 1. The database and the Quaestor middleware on top of it.
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	srv := server.New(db, &server.Options{Mode: server.ModeFull})
 	defer srv.Close()

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	srv := server.New(db, nil)
 	defer srv.Close()

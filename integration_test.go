@@ -20,7 +20,7 @@ import (
 // sockets: browser clients → CDN edge (in-process tier) → origin HTTP
 // server, with the EBF, InvaliDB and purge fan-out all live.
 func TestEndToEndOverTCP(t *testing.T) {
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	srv := server.New(db, nil)
 	defer srv.Close()
@@ -92,7 +92,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 // invariants: no errors, bounded EBF, purge fan-out active, cache hits
 // actually happening.
 func TestEndToEndConcurrentWorkload(t *testing.T) {
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	srv := server.New(db, nil)
 	defer srv.Close()

@@ -23,7 +23,7 @@ type stack struct {
 
 func newStack(t *testing.T, srvOpts *server.Options) *stack {
 	t.Helper()
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	srv := server.New(db, srvOpts)
 	t.Cleanup(func() {
 		srv.Close()

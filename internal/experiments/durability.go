@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/metrics"
+	"quaestor/internal/store"
+	"quaestor/internal/wal"
+)
+
+// durabilityModes are the write-path configurations Durability compares.
+// Empty fsync means in-memory (no WAL at all).
+var durabilityModes = []struct {
+	name  string
+	fsync string
+}{
+	{"memory", ""},
+	{"wal-never", "never"},
+	{"wal-interval", "interval"},
+	{"wal-always", "always"},
+}
+
+// Durability measures end-to-end write throughput of the store across
+// durability modes: pure in-memory versus the WAL under each fsync
+// policy, at 1 and 64 concurrent writers. It also reports the group
+// committer's fsyncs-per-write ratio, the batching that makes
+// fsync=always affordable. mode filters the comparison ("all" or one of
+// memory, never, interval, always).
+func Durability(sc Scale, mode string) string {
+	docsPerWriter := sc.count(4000)
+	tbl := metrics.NewTable("mode", "writers", "writes", "writes/s", "fsyncs/write", "mean-batch")
+	for _, m := range durabilityModes {
+		if mode != "all" && mode != m.name && "wal-"+mode != m.name {
+			continue
+		}
+		for _, writers := range []int{1, 64} {
+			row, err := runDurabilityCell(m.name, m.fsync, writers, docsPerWriter)
+			if err != nil {
+				tbl.AddRow(m.name, fmt.Sprint(writers), "error: "+err.Error(), "", "", "")
+				continue
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	return section("Durability — write throughput: in-memory vs WAL fsync policies (group commit)", tbl.String())
+}
+
+func runDurabilityCell(name, fsync string, writers, docsPerWriter int) ([]string, error) {
+	opts := &store.Options{}
+	if fsync != "" {
+		dir, err := os.MkdirTemp("", "quaestor-durability-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		policy, err := wal.ParseFsyncPolicy(fsync)
+		if err != nil {
+			return nil, err
+		}
+		opts.DataDir = dir
+		opts.Durability = store.Durability{Fsync: policy}
+	}
+	s, err := store.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.CreateTable("bench"); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsPerWriter; i++ {
+				doc := document.New(fmt.Sprintf("w%d-%d", w, i), map[string]any{"n": int64(i), "w": int64(w)})
+				if err := s.Insert("bench", doc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	writes := writers * docsPerWriter
+	fsyncsPerWrite, meanBatch := 0.0, 0.0
+	if st, ok := s.DurabilityStats(); ok {
+		fsyncsPerWrite = float64(st.WAL.Fsyncs) / float64(writes)
+		meanBatch = st.WAL.MeanBatch
+	}
+	return []string{
+		name,
+		fmt.Sprint(writers),
+		fmt.Sprint(writes),
+		fmt.Sprintf("%.0f", float64(writes)/elapsed.Seconds()),
+		fmt.Sprintf("%.4f", fsyncsPerWrite),
+		fmt.Sprintf("%.1f", meanBatch),
+	}, nil
+}

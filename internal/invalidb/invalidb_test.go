@@ -56,7 +56,7 @@ func (col *collector) wait(t *testing.T, n int) []Notification {
 
 func newTestPipeline(t *testing.T, cfg *Config) (*store.Store, *Cluster, *collector) {
 	t.Helper()
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	if err := db.CreateTable("posts"); err != nil {
 		t.Fatal(err)
 	}

@@ -240,7 +240,7 @@ func TestStatefulWindowMatchesDirectEvaluation(t *testing.T) {
 
 func TestBridgeRoundTrip(t *testing.T) {
 	// No collector here: the bridge must be the sole notification consumer.
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	defer db.Close()
 	if err := db.CreateTable("posts"); err != nil {
 		t.Fatal(err)

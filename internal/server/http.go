@@ -29,7 +29,8 @@ import (
 //	GET    /v1/db/{table}?q=…&sort=…&limit=…&offset=… — query (cacheable)
 //	POST   /v1/indexes/{table}         — create secondary index ({"path": …})
 //	GET    /v1/indexes/{table}         — list indexed field paths
-//	GET    /v1/stats                   — server statistics (incl. plan counts)
+//	GET    /v1/stats                   — server statistics (plan counts, WAL/recovery)
+//	POST   /v1/admin/snapshot          — snapshot the durable store, truncate WAL
 //	POST   /v1/transaction             — BOCC transaction commit
 //	GET    /v1/subscribe?table=…&q=…   — SSE query change stream
 //
@@ -46,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/files/", s.handleFiles)
 	mux.HandleFunc("/v1/schema/", s.handleSchema)
+	mux.HandleFunc("/v1/admin/snapshot", s.handleSnapshot)
 	return s.withAuth(mux)
 }
 
@@ -183,9 +185,39 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// StatsResponse is the JSON body of GET /v1/stats: the activity counters
+// plus, on durable stores, the WAL/snapshot/recovery section.
+type StatsResponse struct {
+	Stats
+	Durability *store.DurabilityStats `json:"durability,omitempty"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, http.StatusOK, s.Stats())
+	resp := StatsResponse{Stats: s.Stats()}
+	if ds, ok := s.db.DurabilityStats(); ok {
+		resp.Durability = &ds
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot serves POST /v1/admin/snapshot: take a point-in-time
+// snapshot and truncate the WAL segments it covers.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
+		return
+	}
+	info, err := s.db.Snapshot()
+	if err != nil {
+		if errors.Is(err, store.ErrNotDurable) {
+			writeError(w, &httpError{http.StatusConflict, "store is in-memory; start the server with -data-dir"})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleDB routes /v1/db/{table}[/{id}].

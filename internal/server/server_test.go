@@ -18,7 +18,7 @@ import (
 
 func newTestServer(t *testing.T, opts *Options) *Server {
 	t.Helper()
-	db := store.Open(nil)
+	db := store.MustOpen(nil)
 	srv := New(db, opts)
 	t.Cleanup(func() {
 		srv.Close()

@@ -1,0 +1,331 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/wal"
+)
+
+// walSubdir is where log segments live inside Options.DataDir (the
+// snapshot sits next to it as wal.SnapshotName).
+const walSubdir = "wal"
+
+// SnapshotInfo describes one completed snapshot.
+type SnapshotInfo struct {
+	// Seq is the sequence floor: log records with Seq > Seq are replayed
+	// over this snapshot on recovery.
+	Seq    uint64    `json:"seq"`
+	Docs   int       `json:"docs"`
+	Bytes  int64     `json:"bytes"`
+	At     time.Time `json:"at"`
+	TookMs float64   `json:"tookMs"`
+}
+
+// RecoveryInfo describes what Open reconstructed from disk.
+type RecoveryInfo struct {
+	SnapshotSeq     uint64  `json:"snapshotSeq"`
+	SnapshotDocs    int     `json:"snapshotDocs"`
+	ReplayedRecords int     `json:"replayedRecords"` // doc records applied from the log tail
+	TornTail        bool    `json:"tornTail"`        // last segment ended mid-record (crash)
+	LastSeq         uint64  `json:"lastSeq"`         // restored sequence counter
+	Tables          int     `json:"tables"`
+	Indexes         int     `json:"indexes"` // secondary indexes rebuilt
+	TookMs          float64 `json:"tookMs"`
+}
+
+// DurabilityStats aggregates the WAL, snapshot and recovery state of a
+// durable store.
+type DurabilityStats struct {
+	DataDir      string        `json:"dataDir"`
+	WAL          wal.Stats     `json:"wal"`
+	LastSnapshot *SnapshotInfo `json:"lastSnapshot,omitempty"`
+	Recovery     RecoveryInfo  `json:"recovery"`
+}
+
+// DurabilityStats reports WAL/snapshot/recovery state; ok is false for
+// in-memory stores.
+func (s *Store) DurabilityStats() (st DurabilityStats, ok bool) {
+	if s.wal == nil {
+		return DurabilityStats{}, false
+	}
+	st = DurabilityStats{DataDir: s.opts.DataDir, WAL: s.wal.Stats()}
+	s.snapMu.Lock()
+	if s.lastSnap != nil {
+		snap := *s.lastSnap
+		st.LastSnapshot = &snap
+	}
+	st.Recovery = s.recovery
+	s.snapMu.Unlock()
+	return st, true
+}
+
+// recover rebuilds the store from DataDir: load the latest snapshot,
+// replay the log tail in sequence order (tolerating a torn final
+// record), rebuild secondary indexes through the regular CreateIndex
+// path, restore the sequence counter, and finally open the WAL for
+// appending. Called from Open before the store is published, so the raw
+// apply helpers run without contention.
+func (s *Store) recover() error {
+	start := time.Now()
+	dataDir := s.opts.DataDir
+	walDir := filepath.Join(dataDir, walSubdir)
+
+	// pendingIdx collects every index definition seen (snapshot meta +
+	// log DDL records) for the rebuild pass at the end.
+	pendingIdx := map[string]map[string]bool{}
+	addIndex := func(tbl, path string) {
+		if pendingIdx[tbl] == nil {
+			pendingIdx[tbl] = map[string]bool{}
+		}
+		pendingIdx[tbl][path] = true
+	}
+
+	var meta wal.SnapshotMeta
+	snapDocs := 0
+	loaded, err := wal.LoadSnapshot(dataDir,
+		func(m wal.SnapshotMeta) error {
+			meta = m
+			for _, tm := range m.Tables {
+				if _, err := s.createTable(tm.Name); err != nil {
+					return err
+				}
+				for _, p := range tm.Indexes {
+					addIndex(tm.Name, p)
+				}
+			}
+			return nil
+		},
+		func(tbl string, doc *document.Document) error {
+			snapDocs++
+			return s.applyPut(tbl, doc)
+		})
+	if err != nil {
+		return fmt.Errorf("store: loading snapshot: %w", err)
+	}
+
+	// Doc records can sit slightly out of sequence order across keys in
+	// the file (appends from different shards interleave), so collect the
+	// tail and sort by Seq before applying; per key, Seq order is the
+	// serialization order. DDL records apply in file order and replay
+	// unconditionally — they are idempotent and may predate the snapshot.
+	var docRecs []wal.Record
+	res, err := wal.Scan(walDir, func(r *wal.Record) error {
+		switch r.Kind {
+		case wal.KindCreateTable:
+			_, err := s.createTable(r.Table)
+			return err
+		case wal.KindCreateIndex:
+			addIndex(r.Table, r.Path)
+			return nil
+		case wal.KindPut, wal.KindDelete:
+			if r.Seq > meta.Seq {
+				docRecs = append(docRecs, *r)
+			}
+			return nil
+		default:
+			return fmt.Errorf("store: unknown wal record kind %q", r.Kind)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("store: scanning wal: %w", err)
+	}
+	sort.SliceStable(docRecs, func(i, j int) bool { return docRecs[i].Seq < docRecs[j].Seq })
+	for i := range docRecs {
+		r := &docRecs[i]
+		// A doc record can reference a table whose KindCreateTable record
+		// was lost in a torn tail: CreateTable exposes the table in memory
+		// before its DDL append commits, so a concurrent writer's record
+		// can land in an earlier batch. Re-create the table rather than
+		// refusing to open the store.
+		if _, err := s.createTable(r.Table); err != nil {
+			return fmt.Errorf("store: replaying wal record seq %d: %w", r.Seq, err)
+		}
+		var err error
+		if r.Kind == wal.KindDelete {
+			err = s.applyDelete(r.Table, r.ID)
+		} else {
+			err = s.applyPut(r.Table, r.Doc)
+		}
+		if err != nil {
+			return fmt.Errorf("store: replaying wal record seq %d: %w", r.Seq, err)
+		}
+	}
+
+	lastSeq := meta.Seq
+	if res.LastSeq > lastSeq {
+		lastSeq = res.LastSeq
+	}
+	s.seq.Store(lastSeq)
+
+	// Rebuild secondary indexes through the regular CreateIndex path
+	// (s.wal is still nil here, so nothing is re-logged).
+	nIdx := 0
+	for tbl, paths := range pendingIdx {
+		sorted := make([]string, 0, len(paths))
+		for p := range paths {
+			sorted = append(sorted, p)
+		}
+		sort.Strings(sorted)
+		for _, p := range sorted {
+			if err := s.CreateIndex(tbl, p); err != nil {
+				return fmt.Errorf("store: rebuilding index %s:%s: %w", tbl, p, err)
+			}
+			nIdx++
+		}
+	}
+
+	l, err := wal.Open(walDir, &wal.Options{
+		Fsync:         s.opts.Durability.Fsync,
+		FsyncInterval: s.opts.Durability.FsyncInterval,
+		SegmentBytes:  s.opts.Durability.SegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	s.wal = l
+	s.recovery = RecoveryInfo{
+		SnapshotSeq:     meta.Seq,
+		SnapshotDocs:    snapDocs,
+		ReplayedRecords: len(docRecs),
+		TornTail:        res.TornTail,
+		LastSeq:         lastSeq,
+		Tables:          len(s.tables),
+		Indexes:         nIdx,
+		TookMs:          float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if loaded {
+		s.lastSnap = &SnapshotInfo{Seq: meta.Seq, Docs: snapDocs, At: meta.CreatedAt}
+		if fi, err := os.Stat(filepath.Join(dataDir, wal.SnapshotName)); err == nil {
+			s.lastSnap.Bytes = fi.Size()
+		}
+	}
+	return nil
+}
+
+// applyPut installs an after-image exactly as recorded, bypassing WAL,
+// versioning and the change stream. Recovery-only.
+func (s *Store) applyPut(tableName string, doc *document.Document) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	sh := t.shardFor(doc.ID)
+	sh.mu.Lock()
+	if prev, ok := sh.docs[doc.ID]; ok {
+		sh.indexRemove(prev)
+	}
+	sh.docs[doc.ID] = doc
+	sh.indexAdd(doc)
+	sh.mu.Unlock()
+	return nil
+}
+
+// applyDelete removes a document as recorded; deleting an already-absent
+// id is a no-op (the record may predate the snapshot's state). Recovery-only.
+func (s *Store) applyDelete(tableName, id string) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	sh := t.shardFor(id)
+	sh.mu.Lock()
+	if prev, ok := sh.docs[id]; ok {
+		sh.indexRemove(prev)
+		delete(sh.docs, id)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Snapshot writes a point-in-time snapshot and truncates the log
+// segments it makes redundant. The protocol is crash-safe and runs
+// against live writers:
+//
+//  1. capture the sequence floor S,
+//  2. rotate the WAL (every record enqueued so far is in a sealed
+//     segment, and its write is therefore visible to the scan below),
+//  3. scan the shards under their read locks — every write with seq ≤ S
+//     is guaranteed visible, later ones are harmless because replay
+//     re-applies after-images idempotently in sequence order,
+//  4. commit the snapshot atomically (tmp file, fsync, rename),
+//  5. delete the sealed segments.
+//
+// A crash before (4) leaves the previous snapshot plus the whole log; a
+// crash after (4) recovers from the new snapshot plus the tail.
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	if s.wal == nil {
+		return SnapshotInfo{}, ErrNotDurable
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+
+	floor := s.seq.Load()
+	sealed, err := s.wal.Rotate()
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: rotating wal for snapshot: %w", err)
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return SnapshotInfo{}, ErrClosed
+	}
+	tables := make([]*table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].name < tables[j].name })
+
+	meta := wal.SnapshotMeta{Seq: floor, CreatedAt: s.opts.Clock()}
+	for _, t := range tables {
+		t.idxMu.RLock()
+		paths := append([]string(nil), t.indexPaths...)
+		t.idxMu.RUnlock()
+		meta.Tables = append(meta.Tables, wal.TableMeta{Name: t.name, Indexes: paths})
+	}
+
+	w, err := wal.NewSnapshotWriter(s.opts.DataDir)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := w.Meta(meta); err != nil {
+		w.Abort()
+		return SnapshotInfo{}, err
+	}
+	for _, t := range tables {
+		for _, sh := range t.shards {
+			sh.mu.RLock()
+			for _, d := range sh.docs {
+				if err := w.Doc(t.name, d); err != nil {
+					sh.mu.RUnlock()
+					w.Abort()
+					return SnapshotInfo{}, fmt.Errorf("store: writing snapshot: %w", err)
+				}
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: committing snapshot: %w", err)
+	}
+	if err := s.wal.Remove(sealed); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("store: truncating wal: %w", err)
+	}
+
+	info := SnapshotInfo{
+		Seq:    floor,
+		Docs:   w.Docs(),
+		Bytes:  w.Bytes(),
+		At:     meta.CreatedAt,
+		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	s.lastSnap = &info
+	return info, nil
+}

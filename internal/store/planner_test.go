@@ -26,7 +26,7 @@ func fill(t *testing.T, s *Store, table string, n int) {
 }
 
 func TestCreateIndexAndExplain(t *testing.T) {
-	s := Open(nil)
+	s := MustOpen(nil)
 	defer s.Close()
 	if err := s.CreateTable("docs"); err != nil {
 		t.Fatal(err)
@@ -90,7 +90,7 @@ func queriesAgree(t *testing.T, s *Store, q *query.Query) {
 }
 
 func TestIndexedQueryMatchesScan(t *testing.T) {
-	s := Open(nil)
+	s := MustOpen(nil)
 	defer s.Close()
 	if err := s.CreateTable("docs"); err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestIndexedQueryMatchesScan(t *testing.T) {
 // numerics through float64 (1<<60 and (1<<60)+1 are DeepEqual), so index
 // keys must fold the same way or a probe drops documents a scan returns.
 func TestIndexedQueryHugeInt64(t *testing.T) {
-	s := Open(nil)
+	s := MustOpen(nil)
 	defer s.Close()
 	if err := s.CreateTable("docs"); err != nil {
 		t.Fatal(err)
@@ -156,7 +156,7 @@ func TestIndexedQueryHugeInt64(t *testing.T) {
 }
 
 func TestIndexMaintainedAcrossWrites(t *testing.T) {
-	s := Open(nil)
+	s := MustOpen(nil)
 	defer s.Close()
 	if err := s.CreateTable("docs"); err != nil {
 		t.Fatal(err)

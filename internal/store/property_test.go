@@ -25,7 +25,7 @@ func TestPropertyIndexedEqualsScanUnderConcurrentWrites(t *testing.T) {
 	colors := []string{"red", "green", "blue", "cyan"}
 	tags := []string{"a", "b", "c", "d", "e"}
 
-	s := Open(&Options{ChangeBuffer: 1 << 14, ReplayBuffer: 16})
+	s := MustOpen(&Options{ChangeBuffer: 1 << 14, ReplayBuffer: 16})
 	defer s.Close()
 	if err := s.CreateTable("docs"); err != nil {
 		t.Fatal(err)

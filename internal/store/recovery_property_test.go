@@ -1,0 +1,274 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/wal"
+)
+
+// shadowDoc mirrors one key's expected recovered state.
+type shadowDoc struct {
+	fields  map[string]any
+	version int64
+}
+
+// checkAgainstShadow asserts the store's contents, versions, indexes and
+// query results match the shadow exactly.
+func checkAgainstShadow(t *testing.T, s *Store, tableName string, shadow map[string]*shadowDoc) {
+	t.Helper()
+	live := 0
+	for id, sd := range shadow {
+		got, err := s.Get(tableName, id)
+		if sd == nil {
+			if err == nil {
+				t.Errorf("key %s: deleted in shadow but present (v%d)", id, got.Version)
+			}
+			continue
+		}
+		live++
+		if err != nil {
+			t.Errorf("key %s: %v (shadow has v%d)", id, err, sd.version)
+			continue
+		}
+		if got.Version != sd.version {
+			t.Errorf("key %s: version %d, shadow %d", id, got.Version, sd.version)
+		}
+		if !document.DeepEqual(got.Fields, sd.fields) {
+			t.Errorf("key %s: fields %v, shadow %v", id, got.Fields, sd.fields)
+		}
+	}
+	if n, err := s.Count(tableName); err != nil || n != live {
+		t.Errorf("count = %d (%v), shadow has %d live docs", n, err, live)
+	}
+	// Indexed reads agree with both a forced scan and the shadow.
+	for _, v := range []int64{0, 3, 7} {
+		q := query.New(tableName, query.Eq("v", v))
+		indexed, plan, err := s.QueryPlanned(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kind == query.PlanScan {
+			t.Errorf("query %s not using the recovered index", q.Key())
+		}
+		scanned, err := s.ScanQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN := 0
+		for _, sd := range shadow {
+			if sd != nil && document.DeepEqual(sd.fields["v"], v) {
+				wantN++
+			}
+		}
+		if len(indexed) != wantN || len(scanned) != wantN {
+			t.Errorf("v=%d: indexed %d, scanned %d, shadow %d", v, len(indexed), len(scanned), wantN)
+		}
+	}
+}
+
+// TestPropertyCrashRecoveryMatchesShadow runs randomized concurrent
+// writes against a durable store mirrored into a shadow map (each worker
+// owns a disjoint key range, so the shadow needs no coordination), then:
+//
+//  1. reopens after a clean close and requires contents, versions,
+//     indexes and LastSeq to match the shadow exactly;
+//  2. appends a sequential op tail, hard-stops by truncating the last
+//     WAL segment at a random byte offset (usually mid-record), reopens,
+//     and requires the recovered state to equal the shadow replayed up
+//     to exactly the surviving record count (recovered LastSeq tells
+//     which prefix survived).
+func TestPropertyCrashRecoveryMatchesShadow(t *testing.T) {
+	const (
+		workers       = 4
+		keysPerWorker = 40
+		table         = "docs"
+	)
+	opsEach := 600
+	if testing.Short() {
+		opsEach = 150
+	}
+
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.FsyncNever)
+	if err := s.CreateTable(table); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex(table, "v"); err != nil {
+		t.Fatal(err)
+	}
+
+	shadows := make([]map[string]*shadowDoc, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shadows[w] = map[string]*shadowDoc{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w + 1)))
+			shadow := shadows[w]
+			for op := 0; op < opsEach; op++ {
+				id := fmt.Sprintf("w%d-k%02d", w, r.Intn(keysPerWorker))
+				cur := shadow[id]
+				switch r.Intn(4) {
+				case 0: // insert (only when absent, so it must succeed)
+					if cur != nil {
+						continue
+					}
+					fields := map[string]any{"v": int64(r.Intn(10)), "w": int64(w)}
+					if err := s.Insert(table, document.New(id, fields)); err != nil {
+						t.Errorf("insert %s: %v", id, err)
+						return
+					}
+					shadow[id] = &shadowDoc{fields: document.CloneValue(document.Normalize(fields)).(map[string]any), version: 1}
+				case 1: // upsert
+					fields := map[string]any{"v": int64(r.Intn(10)), "p": fmt.Sprintf("x%d", op)}
+					if err := s.Put(table, document.New(id, fields)); err != nil {
+						t.Errorf("put %s: %v", id, err)
+						return
+					}
+					ver := int64(1)
+					if cur != nil {
+						ver = cur.version + 1
+					}
+					shadow[id] = &shadowDoc{fields: document.CloneValue(document.Normalize(fields)).(map[string]any), version: ver}
+				case 2: // partial update
+					if cur == nil {
+						continue
+					}
+					delta := float64(r.Intn(5))
+					after, err := s.Update(table, id, UpdateSpec{
+						Set: map[string]any{"v": int64(r.Intn(10))},
+						Inc: map[string]float64{"n": delta},
+					})
+					if err != nil {
+						t.Errorf("update %s: %v", id, err)
+						return
+					}
+					shadow[id] = &shadowDoc{fields: document.CloneValue(after.Fields).(map[string]any), version: after.Version}
+				case 3: // delete
+					if cur == nil {
+						continue
+					}
+					if err := s.Delete(table, id); err != nil {
+						t.Errorf("delete %s: %v", id, err)
+						return
+					}
+					shadow[id] = nil
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	shadow := map[string]*shadowDoc{}
+	for _, m := range shadows {
+		for id, sd := range m {
+			shadow[id] = sd
+		}
+	}
+	wantSeq := s.LastSeq()
+	s.Close()
+
+	// Phase 1: clean restart.
+	s = openDurable(t, dir, wal.FsyncNever)
+	if got := s.LastSeq(); got != wantSeq {
+		t.Errorf("clean restart: LastSeq = %d, want %d", got, wantSeq)
+	}
+	checkAgainstShadow(t, s, table, shadow)
+
+	// Phase 2: sequential tail + random hard-stop. Each op touches its
+	// own key and appends exactly one record, so record i in the tail is
+	// op i, and the recovered LastSeq identifies the surviving prefix.
+	segBefore := lastSegment(t, dir)
+	fiBefore, err := os.Stat(segBefore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tailOps = 60
+	type tailOp struct {
+		id     string
+		fields map[string]any
+		del    bool
+	}
+	r := rand.New(rand.NewSource(99))
+	var tail []tailOp
+	for i := 0; i < tailOps; i++ {
+		id := fmt.Sprintf("tail-%02d", i%20)
+		if sd := shadow[id]; sd != nil && r.Intn(4) == 0 {
+			if err := s.Delete(table, id); err != nil {
+				t.Fatal(err)
+			}
+			tail = append(tail, tailOp{id: id, del: true})
+			shadow[id] = nil
+			continue
+		}
+		fields := map[string]any{"v": int64(r.Intn(10)), "i": int64(i)}
+		if err := s.Put(table, document.New(id, fields)); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, tailOp{id: id, fields: fields})
+		// Maintain the shadow as if all tail ops committed; the surviving
+		// prefix is re-applied below once we know where the cut landed.
+		ver := int64(1)
+		if sd := shadow[id]; sd != nil {
+			ver = sd.version + 1
+		}
+		shadow[id] = &shadowDoc{fields: document.CloneValue(document.Normalize(fields)).(map[string]any), version: ver}
+	}
+	// Rebuild the shadow's tail-key state from scratch per surviving
+	// prefix, so start the tail keys from their phase-1 state.
+	s.Close()
+
+	seg := lastSegment(t, dir)
+	if seg != segBefore {
+		t.Skipf("wal rotated during tail (%s -> %s); offset bookkeeping invalid", segBefore, seg)
+	}
+	fiAfter, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard-stop: cut the segment at a random offset inside the tail's
+	// bytes — almost always mid-record.
+	cut := fiBefore.Size() + 1 + r.Int63n(fiAfter.Size()-fiBefore.Size()-1)
+	if err := os.Truncate(seg, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openDurable(t, dir, wal.FsyncNever)
+	defer s.Close()
+	got := s.LastSeq()
+	if got < wantSeq || got > wantSeq+tailOps {
+		t.Fatalf("post-crash LastSeq = %d, want within [%d, %d]", got, wantSeq, wantSeq+tailOps)
+	}
+	survived := int(got - wantSeq)
+	// Reconstruct the expected tail-key state from the surviving prefix.
+	for id := range shadow {
+		if len(id) >= 4 && id[:4] == "tail" {
+			delete(shadow, id)
+		}
+	}
+	for i := 0; i < survived; i++ {
+		op := tail[i]
+		if op.del {
+			shadow[op.id] = nil
+			continue
+		}
+		ver := int64(1)
+		if sd := shadow[op.id]; sd != nil {
+			ver = sd.version + 1
+		}
+		shadow[op.id] = &shadowDoc{fields: document.CloneValue(document.Normalize(op.fields)).(map[string]any), version: ver}
+	}
+	st, _ := s.DurabilityStats()
+	t.Logf("cut at byte %d: %d/%d tail ops survived, torn tail: %v", cut, survived, tailOps, st.Recovery.TornTail)
+	checkAgainstShadow(t, s, table, shadow)
+}

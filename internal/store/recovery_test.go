@@ -1,0 +1,400 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/wal"
+)
+
+func openDurable(t *testing.T, dir string, fsync wal.FsyncPolicy) *Store {
+	t.Helper()
+	s, err := Open(&Options{DataDir: dir, Durability: Durability{Fsync: fsync}})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// lastSegment returns the path of the highest-numbered WAL segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, walSubdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".seg" && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no wal segments found")
+	}
+	return filepath.Join(dir, walSubdir, last)
+}
+
+// TestDurableRestartIdentical is the tentpole acceptance scenario: a
+// durable store filled with 10k+ documents (inserts, updates, deletes,
+// secondary indexes), closed and reopened, must return identical Query
+// and Get results, identical Explain plans, and the pre-restart LastSeq.
+func TestDurableRestartIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.FsyncNever)
+	if err := s.CreateTable("posts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("posts", "author"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10000
+	for i := 0; i < n; i++ {
+		doc := document.New(fmt.Sprintf("p%05d", i), map[string]any{
+			"author": fmt.Sprintf("a%d", i%97),
+			"score":  int64(i % 1000),
+			"tags":   []any{fmt.Sprintf("t%d", i%13)},
+		})
+		if err := s.Insert("posts", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mutate a swath: updates, upserts, deletes, a late index.
+	for i := 0; i < n; i += 3 {
+		if _, err := s.Update("posts", fmt.Sprintf("p%05d", i), UpdateSpec{Inc: map[string]float64{"score": 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i += 7 {
+		if err := s.Delete("posts", fmt.Sprintf("p%05d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Put("posts", document.New(fmt.Sprintf("x%02d", i), map[string]any{"author": "putter", "score": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreateIndex("posts", "score"); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []*query.Query{
+		query.New("posts", query.Eq("author", "a13")),
+		query.New("posts", query.Gt("score", int64(990))),
+		query.New("posts", query.Eq("author", "putter")).Sorted(query.SortKey{Path: "score", Desc: true}).Sliced(0, 10),
+	}
+	type snapshotState struct {
+		lastSeq uint64
+		count   int
+		indexes []string
+		results [][]*document.Document
+		plans   []query.Plan
+	}
+	capture := func(s *Store) snapshotState {
+		st := snapshotState{lastSeq: s.LastSeq()}
+		var err error
+		if st.count, err = s.Count("posts"); err != nil {
+			t.Fatal(err)
+		}
+		if st.indexes, err = s.Indexes("posts"); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			docs, plan, err := s.QueryPlanned(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.results = append(st.results, docs)
+			st.plans = append(st.plans, plan)
+		}
+		return st
+	}
+	before := capture(s)
+	someDoc, err := s.Get("posts", "p00042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openDurable(t, dir, wal.FsyncNever)
+	defer r.Close()
+	after := capture(r)
+
+	if after.lastSeq != before.lastSeq {
+		t.Errorf("LastSeq after restart = %d, want %d", after.lastSeq, before.lastSeq)
+	}
+	if after.count != before.count {
+		t.Errorf("Count = %d, want %d", after.count, before.count)
+	}
+	if fmt.Sprint(after.indexes) != fmt.Sprint(before.indexes) {
+		t.Errorf("indexes = %v, want %v", after.indexes, before.indexes)
+	}
+	for i := range queries {
+		if after.plans[i].Kind != before.plans[i].Kind || after.plans[i].Path != before.plans[i].Path {
+			t.Errorf("query %d plan = %+v, want %+v", i, after.plans[i], before.plans[i])
+		}
+		a, b := after.results[i], before.results[i]
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d docs, want %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if !a[j].Equal(b[j]) || a[j].Version != b[j].Version {
+				t.Errorf("query %d doc %d differs: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+	got, err := r.Get("posts", "p00042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(someDoc) || got.Version != someDoc.Version {
+		t.Errorf("Get after restart = %+v, want %+v", got, someDoc)
+	}
+	if _, err := r.Get("posts", "p00001"); err == nil {
+		t.Error("deleted doc resurrected after restart")
+	}
+
+	st, ok := r.DurabilityStats()
+	if !ok {
+		t.Fatal("durable store reports no durability stats")
+	}
+	if st.Recovery.LastSeq != before.lastSeq || st.Recovery.Indexes != 2 {
+		t.Errorf("recovery info = %+v", st.Recovery)
+	}
+}
+
+// TestDurableRestartWithTornTail repeats the restart check when the
+// final WAL record was cut mid-write: the store must recover everything
+// except the torn write.
+func TestDurableRestartWithTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.FsyncNever)
+	if err := s.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Insert("t", document.New(fmt.Sprintf("d%03d", i), map[string]any{"i": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preSeq := s.LastSeq()
+	// One more write whose record we then tear off the tail.
+	if err := s.Insert("t", document.New("torn", map[string]any{"i": int64(-1)})); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	seg := lastSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir, wal.FsyncNever)
+	defer r.Close()
+	st, _ := r.DurabilityStats()
+	if !st.Recovery.TornTail {
+		t.Error("recovery did not flag the torn tail")
+	}
+	if got := r.LastSeq(); got != preSeq {
+		t.Errorf("LastSeq = %d, want %d (torn write dropped)", got, preSeq)
+	}
+	if _, err := r.Get("t", "torn"); err == nil {
+		t.Error("torn write survived recovery")
+	}
+	if n, _ := r.Count("t"); n != 100 {
+		t.Errorf("count = %d, want 100", n)
+	}
+	// The store keeps working after tail truncation.
+	if err := r.Insert("t", document.New("after-torn", nil)); err != nil {
+		t.Fatalf("insert after torn-tail recovery: %v", err)
+	}
+}
+
+// TestSnapshotTruncatesAndRecovers checks the full snapshot cycle:
+// snapshot mid-stream, verify segments shrink, write more, restart, and
+// confirm snapshot + tail replay reproduce the state.
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.FsyncNever)
+	if err := s.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Insert("t", document.New(fmt.Sprintf("d%03d", i), map[string]any{"k": int64(i % 10)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if info.Docs != 500 || info.Seq != s.LastSeq() {
+		t.Errorf("snapshot info = %+v (lastSeq %d)", info, s.LastSeq())
+	}
+	st, _ := s.DurabilityStats()
+	if st.WAL.Segments != 1 {
+		t.Errorf("segments after snapshot = %d, want 1", st.WAL.Segments)
+	}
+	// Post-snapshot writes land in the fresh tail.
+	for i := 0; i < 100; i++ {
+		if _, err := s.Update("t", fmt.Sprintf("d%03d", i), UpdateSpec{Set: map[string]any{"k": int64(99)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("t", "d499"); err != nil {
+		t.Fatal(err)
+	}
+	want := s.LastSeq()
+	s.Close()
+
+	r := openDurable(t, dir, wal.FsyncNever)
+	defer r.Close()
+	if got := r.LastSeq(); got != want {
+		t.Errorf("LastSeq = %d, want %d", got, want)
+	}
+	rst, _ := r.DurabilityStats()
+	if rst.Recovery.SnapshotDocs != 500 || rst.Recovery.ReplayedRecords != 101 {
+		t.Errorf("recovery = %+v, want 500 snapshot docs + 101 replayed", rst.Recovery)
+	}
+	if n, _ := r.Count("t"); n != 499 {
+		t.Errorf("count = %d, want 499", n)
+	}
+	docs, err := r.Query(query.New("t", query.Eq("k", int64(99))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 100 {
+		t.Errorf("updated docs after restart = %d, want 100", len(docs))
+	}
+	plan, err := r.Explain(query.New("t", query.Eq("k", int64(99))))
+	if err != nil || plan.Kind == query.PlanScan {
+		t.Errorf("index not rebuilt from snapshot meta: plan=%+v err=%v", plan, err)
+	}
+}
+
+// TestRecoveryToleratesLostCreateTableRecord: CreateTable exposes the
+// table in memory before its DDL append commits, so a concurrent
+// writer's put record can become durable in an earlier batch than the
+// createTable record, and a crash can then lose the DDL record in the
+// torn tail. Recovery must re-create the table instead of refusing to
+// open the store.
+func TestRecoveryToleratesLostCreateTableRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(filepath.Join(dir, walSubdir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(wal.Record{Seq: 1, Kind: wal.KindPut, Table: "orphan",
+		Doc: document.New("d1", map[string]any{"n": int64(1)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openDurable(t, dir, wal.FsyncNever)
+	defer s.Close()
+	doc, err := s.Get("orphan", "d1")
+	if err != nil {
+		t.Fatalf("orphan table not re-created: %v", err)
+	}
+	if n, _ := doc.Get("n"); n != int64(1) {
+		t.Errorf("recovered doc = %+v", doc)
+	}
+	if s.LastSeq() != 1 {
+		t.Errorf("LastSeq = %d, want 1", s.LastSeq())
+	}
+}
+
+// TestDurableRestartReservedFieldNames: documents whose fields shadow the
+// wire-reserved _id/_version keys must keep their identity across restart
+// (the WAL encoder takes the slower document.MarshalJSON-compatible path
+// for them).
+func TestDurableRestartReservedFieldNames(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.FsyncNever)
+	if err := s.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("t", document.New("real-id", map[string]any{"_id": "fake-id", "x": int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("t", document.New("v-doc", map[string]any{"_version": int64(999)})); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openDurable(t, dir, wal.FsyncNever)
+	defer r.Close()
+	doc, err := r.Get("t", "real-id")
+	if err != nil {
+		t.Fatalf("doc recovered under wrong id: %v", err)
+	}
+	if x, _ := doc.Get("x"); x != int64(1) {
+		t.Errorf("recovered doc = %+v", doc)
+	}
+	if _, err := r.Get("t", "fake-id"); err == nil {
+		t.Error("shadowed _id field leaked into the primary key")
+	}
+	vdoc, err := r.Get("t", "v-doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vdoc.Version != 1 {
+		t.Errorf("version = %d, want 1 (shadowed _version field must not win)", vdoc.Version)
+	}
+}
+
+func TestSnapshotOnInMemoryStore(t *testing.T) {
+	s := MustOpen(nil)
+	defer s.Close()
+	if _, err := s.Snapshot(); err != ErrNotDurable {
+		t.Fatalf("Snapshot on in-memory store: %v, want ErrNotDurable", err)
+	}
+	if _, ok := s.DurabilityStats(); ok {
+		t.Error("in-memory store reports durability stats")
+	}
+}
+
+// TestDurableEmptyDirAndDDLOnly covers recovery of DDL-only logs and
+// fresh directories.
+func TestDurableEmptyDirAndDDLOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.FsyncAlways)
+	if s.LastSeq() != 0 {
+		t.Errorf("fresh durable store LastSeq = %d", s.LastSeq())
+	}
+	if err := s.CreateTable("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("empty", "x"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openDurable(t, dir, wal.FsyncAlways)
+	defer r.Close()
+	if got := r.Tables(); len(got) != 1 || got[0] != "empty" {
+		t.Errorf("tables = %v", got)
+	}
+	idx, err := r.Indexes("empty")
+	if err != nil || len(idx) != 1 || idx[0] != "x" {
+		t.Errorf("indexes = %v, %v", idx, err)
+	}
+	if r.LastSeq() != 0 {
+		t.Errorf("DDL-only recovery LastSeq = %d, want 0", r.LastSeq())
+	}
+}

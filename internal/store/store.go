@@ -22,6 +22,7 @@ import (
 	"quaestor/internal/document"
 	"quaestor/internal/index"
 	"quaestor/internal/query"
+	"quaestor/internal/wal"
 )
 
 // Common errors returned by store operations.
@@ -35,6 +36,7 @@ var (
 	ErrEmptyTable    = errors.New("store: table name must not be empty")
 	ErrNilDocument   = errors.New("store: document must not be nil")
 	ErrBadUpdateSpec = errors.New("store: invalid update specification")
+	ErrNotDurable    = errors.New("store: store has no data dir (in-memory)")
 )
 
 // OpType identifies the kind of write that produced a change event.
@@ -81,6 +83,17 @@ func (e *ChangeEvent) Key() string { return e.Table + "/" + e.After.ID }
 
 const defaultShards = 16
 
+// Durability tunes the write-ahead log of a store opened with a DataDir.
+type Durability struct {
+	// Fsync selects the fsync policy (default wal.FsyncAlways).
+	Fsync wal.FsyncPolicy
+	// FsyncInterval bounds the sync lag under wal.FsyncInterval
+	// (default 25ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the log's segment rotation threshold (default 8 MiB).
+	SegmentBytes int64
+}
+
 // Options configures a Store.
 type Options struct {
 	// ShardsPerTable is the number of hash partitions per table
@@ -94,6 +107,13 @@ type Options struct {
 	// Clock supplies timestamps; defaults to time.Now. The Monte Carlo
 	// simulator injects a virtual clock here.
 	Clock func() time.Time
+	// DataDir, when set, makes the store durable: every write is logged
+	// to a segmented WAL under this directory before it is published on
+	// the change stream, and Open recovers the previous state from the
+	// latest snapshot plus the log tail. Empty keeps the store in-memory.
+	DataDir string
+	// Durability tunes the WAL when DataDir is set.
+	Durability Durability
 }
 
 func (o *Options) withDefaults() Options {
@@ -113,6 +133,8 @@ func (o *Options) withDefaults() Options {
 	if o.Clock != nil {
 		out.Clock = o.Clock
 	}
+	out.DataDir = o.DataDir
+	out.Durability = o.Durability
 	return out
 }
 
@@ -126,6 +148,14 @@ type Store struct {
 	closed bool
 
 	stream *changeStream
+
+	// wal is non-nil for durable stores (Options.DataDir set).
+	wal *wal.Log
+	// snapMu serializes snapshots; lastSnap/recovery hold durability
+	// stats reported by DurabilityStats.
+	snapMu   sync.Mutex
+	lastSnap *SnapshotInfo
+	recovery RecoveryInfo
 }
 
 type table struct {
@@ -162,46 +192,84 @@ func (sh *shard) indexRemove(doc *document.Document) {
 	}
 }
 
-// Open creates an empty store. A nil opts uses defaults.
-func Open(opts *Options) *Store {
+// Open creates a store. A nil opts uses defaults (in-memory). When
+// opts.DataDir is set the store is durable: Open recovers the previous
+// state from the latest snapshot plus the WAL tail (tolerating a torn
+// final record), rebuilds all secondary indexes, restores LastSeq, and
+// then logs every subsequent write before publishing it.
+func Open(opts *Options) (*Store, error) {
 	o := opts.withDefaults()
-	return &Store{
+	s := &Store{
 		opts:   o,
 		tables: map[string]*table{},
 		stream: newChangeStream(o.ChangeBuffer, o.ReplayBuffer),
 	}
+	if o.DataDir == "" {
+		return s, nil
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
-// Close shuts the store down and closes all change-stream subscriptions.
+// MustOpen is Open for callers without a useful error path (tests,
+// examples, in-memory stores, benchmarks); it panics on failure.
+func MustOpen(opts *Options) *Store {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Close shuts the store down, closes all change-stream subscriptions and
+// cleanly seals the WAL (flushing and fsyncing pending appends).
 func (s *Store) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
 	s.stream.close()
+	s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+	}
 }
 
 // CreateTable creates a table; creating an existing table is a no-op.
+// On durable stores the creation is logged (and thus survives restart)
+// before CreateTable returns.
 func (s *Store) CreateTable(name string) error {
+	created, err := s.createTable(name)
+	if err != nil || !created || s.wal == nil {
+		return err
+	}
+	// DDL records carry Seq 0 and replay unconditionally; creation is
+	// idempotent, so double-applying against a snapshot is harmless.
+	return s.wal.Append(wal.Record{Kind: wal.KindCreateTable, Table: name})
+}
+
+func (s *Store) createTable(name string) (created bool, err error) {
 	if name == "" {
-		return ErrEmptyTable
+		return false, ErrEmptyTable
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	if _, ok := s.tables[name]; ok {
-		return nil
+		return false, nil
 	}
 	t := &table{name: name, shards: make([]*shard, s.opts.ShardsPerTable)}
 	for i := range t.shards {
 		t.shards[i] = &shard{docs: map[string]*document.Document{}, indexes: map[string]*index.Field{}}
 	}
 	s.tables[name] = t
-	return nil
+	return true, nil
 }
 
 // Tables returns the sorted table names.
@@ -258,11 +326,11 @@ func (s *Store) Insert(tableName string, doc *document.Document) error {
 	stored.Version = 1
 	sh.docs[doc.ID] = stored
 	sh.indexAdd(stored)
-	after := stored.Clone()
+	ev := ChangeEvent{Table: tableName, Op: OpInsert, After: stored.Clone()}
+	w := s.stampLocked(&ev)
 	sh.mu.Unlock()
 
-	s.publish(ChangeEvent{Table: tableName, Op: OpInsert, After: after})
-	return nil
+	return s.commit(ev, w)
 }
 
 // Get returns a deep copy of the document, or ErrNotFound.
@@ -311,11 +379,11 @@ func (s *Store) Put(tableName string, doc *document.Document) error {
 	}
 	sh.docs[doc.ID] = stored
 	sh.indexAdd(stored)
-	after := stored.Clone()
+	ev := ChangeEvent{Table: tableName, Op: op, Before: before, After: stored.Clone()}
+	w := s.stampLocked(&ev)
 	sh.mu.Unlock()
 
-	s.publish(ChangeEvent{Table: tableName, Op: op, Before: before, After: after})
-	return nil
+	return s.commit(ev, w)
 }
 
 // UpdateSpec describes a partial update.
@@ -363,9 +431,13 @@ func (s *Store) Update(tableName, id string, spec UpdateSpec) (*document.Documen
 	sh.docs[id] = next
 	sh.indexAdd(next)
 	after := next.Clone()
+	ev := ChangeEvent{Table: tableName, Op: OpUpdate, Before: before, After: after}
+	w := s.stampLocked(&ev)
 	sh.mu.Unlock()
 
-	s.publish(ChangeEvent{Table: tableName, Op: OpUpdate, Before: before, After: after})
+	if err := s.commit(ev, w); err != nil {
+		return nil, err
+	}
 	return after.Clone(), nil
 }
 
@@ -454,17 +526,19 @@ func (s *Store) Delete(tableName, id string) error {
 	delete(sh.docs, id)
 	sh.indexRemove(prev)
 	before := prev.Clone()
+	tomb := &document.Document{ID: id, Version: before.Version + 1}
+	ev := ChangeEvent{Table: tableName, Op: OpDelete, Deleted: true, Before: before, After: tomb}
+	w := s.stampLocked(&ev)
 	sh.mu.Unlock()
 
-	tomb := &document.Document{ID: id, Version: before.Version + 1}
-	s.publish(ChangeEvent{Table: tableName, Op: OpDelete, Deleted: true, Before: before, After: tomb})
-	return nil
+	return s.commit(ev, w)
 }
 
 // CreateIndex builds a secondary index over a dotted field path and keeps
 // it maintained by every subsequent write. Creating an existing index is a
 // no-op. The build takes each shard's write lock in turn, so it is exactly
-// consistent with concurrent writes without stopping the world.
+// consistent with concurrent writes without stopping the world. On durable
+// stores the index definition is logged, so restart rebuilds it.
 func (s *Store) CreateIndex(tableName, path string) error {
 	if path == "" {
 		return fmt.Errorf("%w: empty index path", ErrBadUpdateSpec)
@@ -494,6 +568,9 @@ func (s *Store) CreateIndex(tableName, path string) error {
 			sh.indexes[path] = ix
 		}
 		sh.mu.Unlock()
+	}
+	if s.wal != nil {
+		return s.wal.Append(wal.Record{Kind: wal.KindCreateIndex, Table: tableName, Path: path})
 	}
 	return nil
 }
@@ -684,10 +761,49 @@ func (s *Store) Count(tableName string) (int, error) {
 	return n, nil
 }
 
-func (s *Store) publish(ev ChangeEvent) {
+// stampLocked assigns ev its global sequence number and timestamp and,
+// on durable stores, enqueues its WAL record for group commit. It MUST
+// run inside the caller's shard critical section: that is what makes the
+// per-key order of records in the log match the serialization order the
+// shard lock imposes (recovery sorts records by Seq, which is only
+// meaningful per key if Seq assignment and enqueue are atomic with the
+// write).
+func (s *Store) stampLocked(ev *ChangeEvent) *wal.Waiter {
 	ev.Seq = s.seq.Add(1)
 	ev.Time = s.opts.Clock()
+	if s.wal == nil {
+		return nil
+	}
+	rec := wal.Record{Seq: ev.Seq, Table: ev.Table}
+	if ev.Op == OpDelete {
+		rec.Kind = wal.KindDelete
+		rec.ID = ev.After.ID
+		rec.Version = ev.After.Version
+	} else {
+		rec.Kind = wal.KindPut
+		rec.Doc = ev.After // a private clone; the committer reads it concurrently
+	}
+	return s.wal.Enqueue(rec)
+}
+
+// commit waits for ev's WAL record to become durable (per the fsync
+// policy), then publishes ev on the change stream — the log always leads
+// the stream. A WAL failure is returned without publishing; the
+// in-memory mutation has already happened, so a wedged log makes the
+// store effectively read-only for durable correctness.
+//
+// Publish order across concurrent writers is not guaranteed to follow
+// Seq (a pre-existing property of the unlock-then-publish protocol);
+// consumers that care about per-key ordering must compare ev.Seq, which
+// IS assigned in serialization order under the shard lock.
+func (s *Store) commit(ev ChangeEvent, w *wal.Waiter) error {
+	if w != nil {
+		if err := w.Wait(); err != nil {
+			return fmt.Errorf("store: wal append: %w", err)
+		}
+	}
 	s.stream.publish(ev)
+	return nil
 }
 
 // Subscribe registers a change-stream consumer receiving every write's

@@ -13,7 +13,7 @@ import (
 
 func openWithTable(t *testing.T, table string) *Store {
 	t.Helper()
-	s := Open(nil)
+	s := MustOpen(nil)
 	t.Cleanup(s.Close)
 	if err := s.CreateTable(table); err != nil {
 		t.Fatal(err)
@@ -342,7 +342,7 @@ func TestReplayBuffer(t *testing.T) {
 }
 
 func TestReplayRingOverflow(t *testing.T) {
-	s := Open(&Options{ReplayBuffer: 4})
+	s := MustOpen(&Options{ReplayBuffer: 4})
 	defer s.Close()
 	if err := s.CreateTable("t"); err != nil {
 		t.Fatal(err)
@@ -391,7 +391,7 @@ func TestConcurrentWritersPerKeyMonotonic(t *testing.T) {
 }
 
 func TestCloseSemantics(t *testing.T) {
-	s := Open(nil)
+	s := MustOpen(nil)
 	if err := s.CreateTable("t"); err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestCloseSemantics(t *testing.T) {
 }
 
 func TestTablesSorted(t *testing.T) {
-	s := Open(nil)
+	s := MustOpen(nil)
 	defer s.Close()
 	for _, name := range []string{"zeta", "alpha", "mid"} {
 		if err := s.CreateTable(name); err != nil {

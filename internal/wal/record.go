@@ -1,0 +1,207 @@
+// Package wal implements Quaestor's durability subsystem: a segmented,
+// CRC32-framed write-ahead log with group commit, point-in-time snapshots
+// and crash recovery.
+//
+// The store logs every write's after-image before publishing it on the
+// change stream; a single committer goroutine batches concurrent appends
+// into one write (and, depending on the fsync policy, one fsync), turning
+// per-write durability overhead into amortized sequential appends. On
+// restart the store loads the latest snapshot and replays the log tail,
+// tolerating a torn final record.
+//
+// On-disk record format (all integers little-endian):
+//
+//	frame   := length:uint32 | crc:uint32 | payload:length bytes
+//	crc     := CRC-32C (Castagnoli) over payload
+//	payload := JSON-encoded record (see Record)
+//
+// Log segments are named wal-NNNNNNNN.seg and live under <dir>; the
+// current snapshot is a single atomically-renamed file <dataDir>/snapshot.db
+// using the same framing (a meta frame, one frame per document, and an end
+// frame whose doc count guards against truncation).
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+
+	"quaestor/internal/document"
+)
+
+// Kind identifies what a log record describes.
+type Kind string
+
+// Record kinds. Put covers insert, upsert and partial update uniformly:
+// the record carries the full after-image, so replay is idempotent.
+const (
+	KindPut         Kind = "put"
+	KindDelete      Kind = "delete"
+	KindCreateTable Kind = "table"
+	KindCreateIndex Kind = "index"
+
+	// Snapshot-only frame kinds.
+	kindSnapMeta Kind = "meta"
+	kindSnapDoc  Kind = "doc"
+	kindSnapEnd  Kind = "end"
+)
+
+// Record is one durable log entry.
+type Record struct {
+	// Seq is the store's global write sequence number. DDL records
+	// (table/index creation) carry Seq 0 and are replayed unconditionally;
+	// they are idempotent.
+	Seq  uint64 `json:"seq,omitempty"`
+	Kind Kind   `json:"kind"`
+	// Table is the target table.
+	Table string `json:"table,omitempty"`
+	// Doc is the after-image for KindPut (wire format includes _id and
+	// _version).
+	Doc *document.Document `json:"doc,omitempty"`
+	// ID and Version identify the tombstone for KindDelete.
+	ID      string `json:"id,omitempty"`
+	Version int64  `json:"version,omitempty"`
+	// Path is the indexed field path for KindCreateIndex.
+	Path string `json:"path,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const frameHeaderSize = 8
+
+// maxFrameSize guards decoding against absurd lengths from corrupt
+// headers; no single document approaches this.
+const maxFrameSize = 256 << 20
+
+// Framing errors. errTorn marks a frame that is incomplete or fails its
+// checksum — expected at the tail of the last segment after a crash,
+// corruption anywhere else.
+var (
+	errTorn   = errors.New("wal: torn or corrupt frame")
+	ErrClosed = errors.New("wal: log is closed")
+)
+
+// appendPayloadFrame frames payload with its length and CRC onto buf.
+func appendPayloadFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// appendFrame encodes rec as one CRC-framed record onto buf.
+func appendFrame(buf []byte, rec *Record) ([]byte, error) {
+	var payload []byte
+	var err error
+	if rec.Kind == KindPut && rec.Doc != nil {
+		payload, err = encodePutPayload(rec)
+	} else {
+		payload, err = json.Marshal(rec)
+	}
+	if err != nil {
+		return buf, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	return appendPayloadFrame(buf, payload), nil
+}
+
+// encodePutPayload hand-builds the JSON envelope of a put record. It is
+// byte-compatible with json.Marshal(rec) but marshals the document's
+// field map directly instead of going through document.MarshalJSON,
+// which would copy the map first — put records are the write hot path.
+func encodePutPayload(rec *Record) ([]byte, error) {
+	// Splicing the raw field JSON after the _id/_version header would
+	// emit duplicate keys if the fields shadow them (and the decoder
+	// would keep the wrong one); take the copying path for those docs.
+	if _, ok := rec.Doc.Fields["_id"]; ok {
+		return json.Marshal(rec)
+	}
+	if _, ok := rec.Doc.Fields["_version"]; ok {
+		return json.Marshal(rec)
+	}
+	fields, err := json.Marshal(rec.Doc.Fields)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(fields)+len(rec.Table)+len(rec.Doc.ID)+64)
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, rec.Seq, 10)
+	buf = append(buf, `,"kind":"put","table":`...)
+	buf = appendJSONString(buf, rec.Table)
+	buf = append(buf, `,"doc":{"_id":`...)
+	buf = appendJSONString(buf, rec.Doc.ID)
+	buf = append(buf, `,"_version":`...)
+	buf = strconv.AppendInt(buf, rec.Doc.Version, 10)
+	if len(fields) > 2 { // fields is at least "{}"
+		buf = append(buf, ',')
+		buf = append(buf, fields[1:len(fields)-1]...)
+	}
+	return append(buf, '}', '}'), nil
+}
+
+// appendJSONString appends s as a JSON string. Plain ASCII (the common
+// case for table names and ids) takes the fast path; anything needing
+// escapes goes through encoding/json.
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			enc, _ := json.Marshal(s) // cannot fail for a string
+			return append(buf, enc...)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}
+
+// frameReader decodes CRC-framed payloads from a byte stream, tracking
+// the offset of the last fully-valid frame so recovery can truncate a
+// torn tail precisely.
+type frameReader struct {
+	r        io.Reader
+	validLen int64 // bytes consumed by fully-valid frames
+}
+
+// nextPayload reads one frame's payload. It returns errTorn for an
+// incomplete or corrupt frame and io.EOF at a clean end of stream.
+func (fr *frameReader) nextPayload() ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTorn // header cut mid-write
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxFrameSize {
+		return nil, errTorn
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, errTorn
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, errTorn
+	}
+	fr.validLen += int64(frameHeaderSize) + int64(n)
+	return payload, nil
+}
+
+// next decodes one record. It returns errTorn for an incomplete or
+// corrupt frame and io.EOF at a clean end of stream.
+func (fr *frameReader) next(rec *Record) error {
+	payload, err := fr.nextPayload()
+	if err != nil {
+		return err
+	}
+	*rec = Record{}
+	if err := json.Unmarshal(payload, rec); err != nil {
+		return errTorn
+	}
+	return nil
+}

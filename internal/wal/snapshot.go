@@ -1,0 +1,185 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"quaestor/internal/document"
+)
+
+// SnapshotName is the current snapshot's file name inside the data dir.
+// Snapshots are written to a temp file, fsynced and atomically renamed
+// over this name, so a crash mid-snapshot leaves the previous one intact.
+const SnapshotName = "snapshot.db"
+
+// TableMeta records one table's identity and secondary-index paths in a
+// snapshot's meta frame.
+type TableMeta struct {
+	Name    string   `json:"name"`
+	Indexes []string `json:"indexes,omitempty"`
+}
+
+// SnapshotMeta is a snapshot's header.
+type SnapshotMeta struct {
+	// Seq is the store sequence captured before the shard scan began; log
+	// records with Seq > Seq must be replayed over the snapshot.
+	Seq       uint64      `json:"seq"`
+	Tables    []TableMeta `json:"tables"`
+	CreatedAt time.Time   `json:"createdAt"`
+}
+
+// snapFrame is the on-disk shape of every snapshot frame.
+type snapFrame struct {
+	Kind  Kind               `json:"kind"`
+	Meta  *SnapshotMeta      `json:"meta,omitempty"`
+	Table string             `json:"table,omitempty"`
+	Doc   *document.Document `json:"doc,omitempty"`
+	Docs  int                `json:"docs,omitempty"` // end frame: expected doc count
+}
+
+// SnapshotWriter streams a point-in-time snapshot to disk.
+type SnapshotWriter struct {
+	dataDir string
+	tmp     string
+	f       *os.File
+	bw      *bufio.Writer
+	buf     []byte
+	docs    int
+	bytes   int64
+}
+
+// NewSnapshotWriter starts a snapshot in dataDir. Call Meta once, then
+// Doc per document, then Commit; Abort discards a partial snapshot.
+func NewSnapshotWriter(dataDir string) (*SnapshotWriter, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	tmp := filepath.Join(dataDir, SnapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating snapshot temp: %w", err)
+	}
+	return &SnapshotWriter{dataDir: dataDir, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (w *SnapshotWriter) writeFrame(fr *snapFrame) error {
+	payload, err := json.Marshal(fr)
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot frame: %w", err)
+	}
+	w.buf = appendPayloadFrame(w.buf[:0], payload)
+	n, err := w.bw.Write(w.buf)
+	w.bytes += int64(n)
+	return err
+}
+
+// Meta writes the snapshot header.
+func (w *SnapshotWriter) Meta(m SnapshotMeta) error {
+	return w.writeFrame(&snapFrame{Kind: kindSnapMeta, Meta: &m})
+}
+
+// Doc writes one document of a table.
+func (w *SnapshotWriter) Doc(table string, doc *document.Document) error {
+	w.docs++
+	return w.writeFrame(&snapFrame{Kind: kindSnapDoc, Table: table, Doc: doc})
+}
+
+// Docs returns the number of documents written so far.
+func (w *SnapshotWriter) Docs() int { return w.docs }
+
+// Bytes returns the bytes written so far.
+func (w *SnapshotWriter) Bytes() int64 { return w.bytes }
+
+// Commit seals the snapshot (end frame + fsync) and atomically renames
+// it into place.
+func (w *SnapshotWriter) Commit() error {
+	if err := w.writeFrame(&snapFrame{Kind: kindSnapEnd, Docs: w.docs}); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := os.Rename(w.tmp, filepath.Join(w.dataDir, SnapshotName)); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	return syncDir(w.dataDir)
+}
+
+// Abort discards the partial snapshot.
+func (w *SnapshotWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// LoadSnapshot streams dataDir's current snapshot: onMeta fires first
+// with the header, then onDoc per document. It returns false when no
+// snapshot exists. An incomplete or corrupt snapshot is an error — the
+// atomic rename in Commit means one should never occur.
+func LoadSnapshot(dataDir string, onMeta func(SnapshotMeta) error, onDoc func(table string, doc *document.Document) error) (bool, error) {
+	path := filepath.Join(dataDir, SnapshotName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	fr := &frameReader{r: bufio.NewReaderSize(f, 1<<16)}
+	docs, sawMeta, sawEnd := 0, false, false
+	for {
+		payload, err := fr.nextPayload()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return true, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+		}
+		var sf snapFrame
+		if err := json.Unmarshal(payload, &sf); err != nil {
+			return true, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+		}
+		switch sf.Kind {
+		case kindSnapMeta:
+			sawMeta = true
+			if err := onMeta(*sf.Meta); err != nil {
+				return true, err
+			}
+		case kindSnapDoc:
+			if !sawMeta {
+				return true, fmt.Errorf("wal: snapshot %s: doc before meta", path)
+			}
+			docs++
+			if err := onDoc(sf.Table, sf.Doc); err != nil {
+				return true, err
+			}
+		case kindSnapEnd:
+			sawEnd = true
+			if sf.Docs != docs {
+				return true, fmt.Errorf("wal: snapshot %s: end frame expects %d docs, read %d", path, sf.Docs, docs)
+			}
+		default:
+			return true, fmt.Errorf("wal: snapshot %s: unknown frame kind %q", path, sf.Kind)
+		}
+	}
+	if !sawMeta || !sawEnd {
+		return true, fmt.Errorf("wal: snapshot %s: incomplete (meta=%v end=%v)", path, sawMeta, sawEnd)
+	}
+	return true, nil
+}
