@@ -8,10 +8,12 @@ package main
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"quaestor/internal/commitlog"
 	"quaestor/internal/document"
 	"quaestor/internal/ebf"
 	"quaestor/internal/experiments"
@@ -413,6 +415,44 @@ func BenchmarkWALAppendConcurrent(b *testing.B) {
 			if st.Appends > 0 {
 				b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/op")
 				b.ReportMetric(st.MeanBatch, "records/batch")
+			}
+		})
+	}
+}
+
+// BenchmarkCommitLogFanout measures the ordered commit pipeline's
+// publish path with 1, 8 and 64 blocking subscribers draining
+// concurrently: one Sequencer.Publish per iteration, every subscriber
+// receiving every event in Seq order. This is the fan-out cost the
+// store's write path pays per committed write.
+func BenchmarkCommitLogFanout(b *testing.B) {
+	for _, subs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subs-%d", subs), func(b *testing.B) {
+			l := commitlog.NewLog(&commitlog.Options{Ring: 1 << 12})
+			q := commitlog.NewSequencer(l, 0)
+			var delivered atomic.Uint64
+			var wg sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				sub := l.SubscribeTail(fmt.Sprintf("s%d", i), commitlog.Block)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for batch := range sub.Events() {
+						delivered.Add(uint64(len(batch)))
+					}
+				}()
+			}
+			after := document.New("d1", map[string]any{"tag": "t001", "rank": int64(1)})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Publish(commitlog.Event{Seq: uint64(i + 1), Table: "docs", Op: commitlog.OpUpdate, After: after})
+			}
+			l.Close()
+			wg.Wait() // drains the backlog: every subscriber saw every event
+			b.StopTimer()
+			if got, want := delivered.Load(), uint64(b.N)*uint64(subs); got != want {
+				b.Fatalf("delivered %d events, want %d", got, want)
 			}
 		})
 	}

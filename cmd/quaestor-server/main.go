@@ -7,8 +7,10 @@
 //
 // With -data-dir the store is durable: writes go through a segmented
 // group-commit WAL before they are acknowledged, POST /v1/admin/snapshot
-// takes point-in-time snapshots, and restart recovers snapshot + log
-// tail (see /v1/stats for the recovery and WAL counters).
+// takes point-in-time snapshots (-auto-snapshot-mb takes them
+// automatically once the WAL grows past a threshold), and restart
+// recovers snapshot + log tail (see /v1/stats for the recovery and WAL
+// counters).
 //
 // Usage:
 //
@@ -44,6 +46,7 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", 25*time.Millisecond, "max sync lag under -fsync interval")
 	segmentMB := flag.Int64("wal-segment-mb", 8, "WAL segment rotation threshold in MiB")
+	autoSnapMB := flag.Int64("auto-snapshot-mb", 0, "snapshot automatically once the WAL reaches this many MiB (0 = manual snapshots only)")
 	flag.Parse()
 
 	var mode server.CacheMode
@@ -72,6 +75,7 @@ func main() {
 			FsyncInterval: *fsyncInterval,
 			SegmentBytes:  *segmentMB << 20,
 		},
+		AutoSnapshotBytes: *autoSnapMB << 20,
 	})
 	if err != nil {
 		log.Fatalf("opening store: %v", err)

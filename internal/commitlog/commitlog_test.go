@@ -1,0 +1,329 @@
+package commitlog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"quaestor/internal/document"
+)
+
+func ev(seq uint64) Event {
+	return Event{Seq: seq, Table: "t", Op: OpInsert, After: document.New(fmt.Sprintf("d%d", seq), nil)}
+}
+
+// drainAll collects every event from a flat subscription until its
+// channel closes.
+func drainAll(ch <-chan Event, out *[]Event, mu *sync.Mutex, done chan struct{}) {
+	defer close(done)
+	for e := range ch {
+		mu.Lock()
+		*out = append(*out, e)
+		mu.Unlock()
+	}
+}
+
+func TestFanOutDeliversInOrderToAllSubscribers(t *testing.T) {
+	l := NewLog(&Options{Ring: 64})
+	const subs, events = 4, 500
+	var mu sync.Mutex
+	got := make([][]Event, subs)
+	dones := make([]chan struct{}, subs)
+	cancels := make([]func(), subs)
+	for i := 0; i < subs; i++ {
+		ch, cancel := l.SubscribeTail(fmt.Sprintf("s%d", i), Block).Flatten(16)
+		dones[i] = make(chan struct{})
+		cancels[i] = cancel
+		go drainAll(ch, &got[i], &mu, dones[i])
+	}
+	for s := uint64(1); s <= events; s++ {
+		l.Append([]Event{ev(s)})
+	}
+	l.Close()
+	for i := range dones {
+		<-dones[i]
+	}
+	for i := 0; i < subs; i++ {
+		mu.Lock()
+		evs := got[i]
+		mu.Unlock()
+		if len(evs) != events {
+			t.Fatalf("subscriber %d got %d events, want %d", i, len(evs), events)
+		}
+		for j, e := range evs {
+			if e.Seq != uint64(j+1) {
+				t.Fatalf("subscriber %d event %d has seq %d", i, j, e.Seq)
+			}
+		}
+	}
+	_ = cancels
+}
+
+func TestSequencerReordersOutOfOrderArrivals(t *testing.T) {
+	l := NewLog(&Options{Ring: 64})
+	q := NewSequencer(l, 0)
+	var mu sync.Mutex
+	var got []Event
+	done := make(chan struct{})
+	ch, _ := l.SubscribeTail("s", Block).Flatten(16)
+	go drainAll(ch, &got, &mu, done)
+
+	// Arrivals scrambled: 3, 1 (flushes 1), 2 (flushes 2,3), 5, 4 (flushes 4,5).
+	for _, s := range []uint64{3, 1, 2, 5, 4} {
+		q.Publish(ev(s))
+	}
+	l.Close()
+	<-done
+	if len(got) != 5 {
+		t.Fatalf("got %d events, want 5: %v", len(got), got)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if st := q.Stats(); st.Held != 0 || st.NextSeq != 6 || st.MaxHeld == 0 {
+		t.Errorf("sequencer stats = %+v", st)
+	}
+}
+
+func TestSequencerSkipReleasesGap(t *testing.T) {
+	l := NewLog(&Options{Ring: 64})
+	q := NewSequencer(l, 0)
+	var mu sync.Mutex
+	var got []Event
+	done := make(chan struct{})
+	ch, _ := l.SubscribeTail("s", Block).Flatten(16)
+	go drainAll(ch, &got, &mu, done)
+
+	q.Publish(ev(2)) // held: waiting for 1
+	q.Publish(ev(3)) // held
+	q.Skip(1)        // 1 failed its WAL append: 2 and 3 flush
+	q.Skip(1)        // duplicate skip below the watermark is a no-op
+	l.Close()
+	<-done
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("got %v, want seqs 2,3", got)
+	}
+}
+
+func TestSubscribeFromSeqCatchesUpThroughRing(t *testing.T) {
+	l := NewLog(&Options{Ring: 64})
+	for s := uint64(1); s <= 10; s++ {
+		l.Append([]Event{ev(s)})
+	}
+	sub := l.Subscribe("replica", 4, Block)
+	batch := <-sub.Events()
+	if len(batch) != 6 {
+		t.Fatalf("catch-up batch has %d events, want 6 (seqs 5..10): %v", len(batch), batch)
+	}
+	for i, e := range batch {
+		if e.Seq != uint64(5+i) {
+			t.Fatalf("catch-up event %d has seq %d", i, e.Seq)
+		}
+	}
+	// The live tail follows the catch-up.
+	l.Append([]Event{ev(11)})
+	batch = <-sub.Events()
+	if len(batch) != 1 || batch[0].Seq != 11 {
+		t.Fatalf("live batch = %v", batch)
+	}
+	sub.Cancel()
+	if _, ok := <-sub.Events(); ok {
+		// A pending batch may still arrive; the channel must close after.
+		if _, ok := <-sub.Events(); ok {
+			t.Error("cancelled subscription channel still open")
+		}
+	}
+}
+
+func TestDropOldestCountsGapAndKeepsOrder(t *testing.T) {
+	l := NewLog(&Options{Ring: 8})
+	sub := l.SubscribeTail("slow", DropOldest)
+	// Do not read: the ring laps the subscriber.
+	for s := uint64(1); s <= 100; s++ {
+		l.Append([]Event{ev(s)})
+	}
+	var got []Event
+	deadline := time.After(5 * time.Second)
+	for len(got) == 0 || got[len(got)-1].Seq < 100 {
+		select {
+		case batch := <-sub.Events():
+			got = append(got, batch...)
+		case <-deadline:
+			t.Fatalf("timed out; got %d events", len(got))
+		}
+	}
+	last := uint64(0)
+	for _, e := range got {
+		if e.Seq <= last {
+			t.Fatalf("drop subscriber saw non-increasing seq %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	st := l.Stats()
+	if len(st.Subscribers) != 1 {
+		t.Fatalf("stats subscribers = %+v", st.Subscribers)
+	}
+	ss := st.Subscribers[0]
+	if ss.Dropped == 0 {
+		t.Errorf("expected drops, got %+v", ss)
+	}
+	if ss.Dropped+ss.Delivered != 100 {
+		t.Errorf("dropped %d + delivered %d != 100", ss.Dropped, ss.Delivered)
+	}
+}
+
+func TestBlockPolicyNeverDrops(t *testing.T) {
+	l := NewLog(&Options{Ring: 4})
+	var mu sync.Mutex
+	var got []Event
+	done := make(chan struct{})
+	ch, _ := l.SubscribeTail("s", Block).Flatten(2)
+	go func() {
+		defer close(done)
+		for e := range ch {
+			time.Sleep(100 * time.Microsecond) // slow consumer
+			mu.Lock()
+			got = append(got, e)
+			mu.Unlock()
+		}
+	}()
+	const events = 200
+	for s := uint64(1); s <= events; s++ {
+		l.Append([]Event{ev(s)}) // must block rather than lap the subscriber
+	}
+	// Wait for the pump to drain before closing, so nothing is dropped at
+	// shutdown.
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == events {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+	<-done
+	if len(got) != events {
+		t.Fatalf("blocking subscriber got %d events, want %d", len(got), events)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestReplayRing(t *testing.T) {
+	l := NewLog(&Options{Ring: 64, ReplayPerTable: 4})
+	for s := uint64(1); s <= 10; s++ {
+		l.Append([]Event{ev(s)})
+	}
+	replay := l.Replay("t", 0)
+	if len(replay) != 4 || replay[0].Seq != 7 || replay[3].Seq != 10 {
+		t.Fatalf("replay = %v", replay)
+	}
+	if got := l.Replay("t", 8); len(got) != 2 {
+		t.Fatalf("replay after 8 = %v", got)
+	}
+	if got := l.Replay("nope", 0); got != nil {
+		t.Error("unknown table replay should be nil")
+	}
+}
+
+func TestStatsLagAndLatency(t *testing.T) {
+	l := NewLog(&Options{Ring: 64})
+	sub := l.SubscribeTail("s", Block)
+	for s := uint64(1); s <= 3; s++ {
+		l.Append([]Event{ev(s)})
+	}
+	batch := <-sub.Events()
+	if len(batch) == 0 {
+		t.Fatal("no batch")
+	}
+	// Poll until the pump records the delivery.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := l.Stats()
+		if len(st.Subscribers) == 1 && st.Subscribers[0].Delivered > 0 {
+			if st.LastSeq != 3 || st.Published != 3 {
+				t.Fatalf("stats = %+v", st)
+			}
+			if st.Latency.Batches == 0 {
+				t.Error("no latency samples")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pump never recorded delivery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sub.Cancel()
+}
+
+func TestCloseOnSubscribedLogClosesChannels(t *testing.T) {
+	l := NewLog(nil)
+	sub := l.SubscribeTail("s", Block)
+	l.Close()
+	if _, ok := <-sub.Events(); ok {
+		t.Error("subscription channel open after log close")
+	}
+	<-sub.Done()
+	// Subscribing to a closed log yields a closed subscription.
+	sub2 := l.SubscribeTail("late", Block)
+	if _, ok := <-sub2.Events(); ok {
+		t.Error("subscription on closed log should be closed")
+	}
+	// Appending to a closed log is a no-op.
+	l.Append([]Event{ev(1)})
+	if l.LastSeq() != 0 {
+		t.Error("append after close changed state")
+	}
+}
+
+func TestConcurrentPublishersObserveTotalOrder(t *testing.T) {
+	l := NewLog(&Options{Ring: 1 << 12})
+	q := NewSequencer(l, 0)
+	var mu sync.Mutex
+	var got []Event
+	done := make(chan struct{})
+	ch, _ := l.SubscribeTail("s", Block).Flatten(1 << 12)
+	go drainAll(ch, &got, &mu, done)
+
+	const writers, each = 16, 200
+	var seq struct {
+		sync.Mutex
+		n uint64
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				// Take a seq then publish outside the allocation lock,
+				// exactly like writers racing past their shard unlock.
+				seq.Lock()
+				seq.n++
+				s := seq.n
+				seq.Unlock()
+				q.Publish(ev(s))
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close()
+	<-done
+	if len(got) != writers*each {
+		t.Fatalf("got %d events, want %d", len(got), writers*each)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d — total order violated", i, e.Seq)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package commitlog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sequencer restores strict global Seq order in front of a Log. Writers
+// release their shard locks before their commit acknowledgement runs, so
+// two racing writes can reach the pipeline with their Seqs swapped; the
+// sequencer holds the later one back until the gap fills. Every assigned
+// Seq must eventually be resolved exactly once — Publish for a committed
+// write, Skip for one whose log append failed — or the stream stalls at
+// the gap (deliberately: delivering around a hole would break the
+// total-order contract).
+type Sequencer struct {
+	mu      sync.Mutex
+	log     *Log
+	next    uint64            // lowest unresolved Seq
+	pending map[uint64]*Event // out-of-order arrivals; nil marks a skip
+	one     [1]Event          // scratch for the in-order fast path
+	buf     []Event           // scratch batch; Append copies before returning
+
+	// Stats mirrors, readable without mu: Publish can hold mu across a
+	// blocking Log.Append (a stalled Block subscriber), and the stats
+	// endpoint must stay readable exactly then to identify the stall.
+	statNext    atomic.Uint64
+	statHeld    atomic.Int64
+	statMaxHeld atomic.Int64
+}
+
+// NewSequencer creates a sequencer feeding log, expecting the next event
+// to carry lastSeq+1.
+func NewSequencer(log *Log, lastSeq uint64) *Sequencer {
+	q := &Sequencer{log: log, next: lastSeq + 1, pending: map[uint64]*Event{}}
+	q.statNext.Store(q.next)
+	return q
+}
+
+// Publish resolves ev's Seq as committed. Arrivals below the watermark
+// (duplicates from overlapping failure paths) are ignored.
+func (q *Sequencer) Publish(ev Event) {
+	q.mu.Lock()
+	if ev.Seq < q.next {
+		q.mu.Unlock()
+		return
+	}
+	if ev.Seq == q.next && len(q.pending) == 0 {
+		// In-order arrival with nothing held: skip the map entirely.
+		q.next++
+		q.statNext.Store(q.next)
+		q.one[0] = ev
+		q.log.Append(q.one[:])
+		q.mu.Unlock()
+		return
+	}
+	e := ev
+	q.pending[ev.Seq] = &e
+	q.flushAndUnlock()
+}
+
+// Skip resolves seq as never-committed (its WAL append failed), releasing
+// the events queued behind it.
+func (q *Sequencer) Skip(seq uint64) {
+	q.mu.Lock()
+	if seq < q.next {
+		q.mu.Unlock()
+		return
+	}
+	q.pending[seq] = nil
+	q.flushAndUnlock()
+}
+
+// flushAndUnlock appends the contiguous resolved prefix to the log and
+// releases the lock. Append runs under q.mu so concurrent flushes cannot
+// interleave their batches out of order.
+func (q *Sequencer) flushAndUnlock() {
+	if held := int64(len(q.pending)); held > q.statMaxHeld.Load() {
+		q.statMaxHeld.Store(held)
+	}
+	batch := q.buf[:0]
+	for {
+		e, ok := q.pending[q.next]
+		if !ok {
+			break
+		}
+		delete(q.pending, q.next)
+		q.next++
+		if e != nil {
+			batch = append(batch, *e)
+		}
+	}
+	q.statNext.Store(q.next)
+	q.statHeld.Store(int64(len(q.pending)))
+	if len(batch) > 0 {
+		q.log.Append(batch)
+	}
+	q.buf = batch[:0]
+	q.mu.Unlock()
+}
+
+// SequencerStats reports the reorder buffer's occupancy.
+type SequencerStats struct {
+	// NextSeq is the lowest Seq the sequencer is still waiting for.
+	NextSeq uint64 `json:"nextSeq"`
+	// Held is how many out-of-order events are currently buffered;
+	// MaxHeld is the high-water mark.
+	Held    int `json:"held"`
+	MaxHeld int `json:"maxHeld"`
+}
+
+// Stats returns the reorder buffer's occupancy counters. It reads the
+// atomic mirrors, never mu: a Publish blocked inside Log.Append (stalled
+// subscriber backpressure) must not make stats unreadable.
+func (q *Sequencer) Stats() SequencerStats {
+	return SequencerStats{
+		NextSeq: q.statNext.Load(),
+		Held:    int(q.statHeld.Load()),
+		MaxHeld: int(q.statMaxHeld.Load()),
+	}
+}

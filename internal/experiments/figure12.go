@@ -57,7 +57,6 @@ func runInvalidbStep(nodes, queries, inserts int) (p99 time.Duration, evalsPerSe
 	cluster := invalidb.NewCluster(&invalidb.Config{
 		QueryPartitions:  cols,
 		ObjectPartitions: rows,
-		IngestTasks:      2,
 		Buffer:           8192,
 	})
 	defer cluster.Stop()

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/metrics"
+	"quaestor/internal/store"
+)
+
+// Pipeline measures the ordered commit pipeline end to end: concurrent
+// writers against an in-memory store while 1, 8 and 64 subscribers drain
+// the change stream. Every subscriber must observe the complete stream
+// in strict Seq order (violations fail the experiment); the table
+// reports write throughput, aggregate delivery throughput, and the
+// pipeline's publish→deliver latency, so fan-out regressions show up as
+// a widening gap between the subscriber counts.
+func Pipeline(sc Scale) string {
+	docs := sc.count(30000)
+	const writers = 16
+	tbl := metrics.NewTable("subscribers", "writes", "writes/s", "delivered/s", "publish→deliver mean", "order-violations")
+	for _, subs := range []int{1, 8, 64} {
+		row, err := runPipelineCell(subs, writers, docs/writers)
+		if err != nil {
+			tbl.AddRow(fmt.Sprint(subs), "error: "+err.Error(), "", "", "", "")
+			continue
+		}
+		tbl.AddRow(row...)
+	}
+	return section("Pipeline — ordered change-stream fan-out from the commit log", tbl.String())
+}
+
+func runPipelineCell(subs, writers, docsPerWriter int) ([]string, error) {
+	s, err := store.Open(&store.Options{ChangeBuffer: 1 << 13})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.CreateTable("bench"); err != nil {
+		return nil, err
+	}
+
+	total := uint64(writers * docsPerWriter)
+	type subState struct {
+		last       uint64
+		count      uint64
+		violations uint64
+	}
+	states := make([]subState, subs)
+	var wgSubs sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		ch, cancel := s.SubscribeNamed(fmt.Sprintf("bench-%d", i))
+		defer cancel()
+		st := &states[i]
+		wgSubs.Add(1)
+		go func() {
+			defer wgSubs.Done()
+			for ev := range ch {
+				if ev.Seq <= st.last {
+					st.violations++
+				}
+				st.last = ev.Seq
+				st.count++
+				if st.count == total {
+					return
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsPerWriter; i++ {
+				doc := document.New(fmt.Sprintf("w%d-%d", w, i), map[string]any{"n": int64(i)})
+				if err := s.Insert("bench", doc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	writeElapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	wgSubs.Wait() // every subscriber saw the full stream
+	elapsed := time.Since(start)
+
+	var violations uint64
+	for i := range states {
+		violations += states[i].violations
+		if states[i].count != total {
+			return nil, fmt.Errorf("subscriber %d saw %d/%d events", i, states[i].count, total)
+		}
+	}
+	lat := s.PipelineStats().Stream.Latency
+	return []string{
+		fmt.Sprint(subs),
+		fmt.Sprint(total),
+		fmt.Sprintf("%.0f", float64(total)/writeElapsed.Seconds()),
+		fmt.Sprintf("%.0f", float64(total)*float64(subs)/elapsed.Seconds()),
+		fmt.Sprintf("%.0fµs", lat.MeanMicros),
+		fmt.Sprint(violations),
+	}, nil
+}

@@ -8,8 +8,10 @@
 // into query partitions (columns) and the change stream into object
 // partitions (rows); each matching task owns one (row, column) cell, so it
 // is responsible for a subset of all queries and only a fraction of their
-// result sets. Ingestion tasks are separate from matching tasks and are
-// never colocated with them.
+// result sets. Ingestion consumes the store's ordered commit pipeline
+// directly: the source delivers events in strict global Seq order, so the
+// per-key reordering compensation this layer used to carry (routing events
+// through id-hashed ingestion tasks) is gone, replaced by an assertion.
 //
 // Notification events follow the paper: add (an object enters a result
 // set), remove (it leaves), change (a contained object's state changes
@@ -139,10 +141,6 @@ type Config struct {
 	// Defaults: 1 × 1.
 	QueryPartitions  int
 	ObjectPartitions int
-	// IngestTasks is the number of change-stream ingestion task instances
-	// (default 1). Events are routed to ingestion tasks by document id so
-	// per-record ordering is preserved end-to-end.
-	IngestTasks int
 	// Buffer is the channel depth between stages (default 1024).
 	Buffer int
 	// MaxQueries caps the number of active queries (0 = unlimited); this is
@@ -158,7 +156,7 @@ type Config struct {
 }
 
 func (c *Config) withDefaults() Config {
-	out := Config{QueryPartitions: 1, ObjectPartitions: 1, IngestTasks: 1, Buffer: 1024, Clock: time.Now}
+	out := Config{QueryPartitions: 1, ObjectPartitions: 1, Buffer: 1024, Clock: time.Now}
 	if c == nil {
 		return out
 	}
@@ -167,9 +165,6 @@ func (c *Config) withDefaults() Config {
 	}
 	if c.ObjectPartitions > 0 {
 		out.ObjectPartitions = c.ObjectPartitions
-	}
-	if c.IngestTasks > 0 {
-		out.IngestTasks = c.IngestTasks
 	}
 	if c.Buffer > 0 {
 		out.Buffer = c.Buffer
@@ -187,9 +182,8 @@ type Cluster struct {
 	cfg   Config
 	nodes [][]*matchNode // [objectPartition][queryPartition]
 
-	ingestCh []chan store.ChangeEvent
-	orderCh  []chan rawEvent // order layer, partitioned by query
-	orders   []*orderTask
+	orderCh []chan rawEvent // order layer, partitioned by query
+	orders  []*orderTask
 
 	out  chan Notification
 	done chan struct{}
@@ -203,7 +197,11 @@ type Cluster struct {
 	ingested  atomic.Uint64
 	evaluated atomic.Uint64 // candidate query predicate evaluations
 	inflight  atomic.Int64  // events accepted but not yet fully matched
-	clock     func() time.Time
+	// disorder counts attached-stream events whose Seq was not strictly
+	// increasing — the assertion that replaced this layer's own per-key
+	// reordering machinery now that the commit pipeline owns ordering.
+	disorder atomic.Uint64
+	clock    func() time.Time
 }
 
 type activeQuery struct {
@@ -242,14 +240,6 @@ func NewCluster(cfg *Config) *Cluster {
 		c.orders[i] = newOrderTask(c, c.orderCh[i])
 		c.wg.Add(1)
 		go c.orders[i].run(&c.wg)
-	}
-	// Change-stream ingestion tasks.
-	c.ingestCh = make([]chan store.ChangeEvent, conf.IngestTasks)
-	for i := range c.ingestCh {
-		c.ingestCh[i] = make(chan store.ChangeEvent, conf.Buffer)
-		ch := c.ingestCh[i]
-		c.wg.Add(1)
-		go c.runIngestTask(ch)
 	}
 	return c
 }
@@ -374,36 +364,20 @@ func (c *Cluster) Deactivate(queryKey string) error {
 	return nil
 }
 
-// Ingest feeds one change event into the pipeline. Routing to ingestion
-// tasks is by document id so a record's updates stay ordered end-to-end.
+// Ingest feeds one change event into the matching grid: it fans the
+// event out to every cell of its object-partition row. Callers that need
+// end-to-end ordering must call Ingest from a single goroutine consuming
+// an ordered stream (AttachStore does); the routing-by-document-id
+// ingestion layer that used to reconstruct per-record order here is gone
+// now that the store's commit pipeline delivers events in strict global
+// Seq order.
 func (c *Cluster) Ingest(ev store.ChangeEvent) {
-	idx := int(hash32(ev.After.ID) % uint32(len(c.ingestCh)))
-	c.inflight.Add(1)
-	select {
-	case c.ingestCh[idx] <- ev:
-		c.ingested.Add(1)
-	case <-c.done:
-		c.inflight.Add(-1)
-	}
-}
-
-// runIngestTask forwards each event to every matching task in the event's
-// object-partition row.
-func (c *Cluster) runIngestTask(ch <-chan store.ChangeEvent) {
-	defer c.wg.Done()
-	for {
-		select {
-		case ev := <-ch:
-			row := c.objectRow(ev.After.ID)
-			for _, n := range c.nodes[row] {
-				c.inflight.Add(1)
-				if !c.sendMsg(n, nodeMsg{event: &ev}) {
-					c.inflight.Add(-1)
-				}
-			}
+	c.ingested.Add(1)
+	row := c.objectRow(ev.After.ID)
+	for _, n := range c.nodes[row] {
+		c.inflight.Add(1)
+		if !c.sendMsg(n, nodeMsg{event: &ev}) {
 			c.inflight.Add(-1)
-		case <-c.done:
-			return
 		}
 	}
 }
@@ -415,10 +389,12 @@ type attachedStore struct {
 	pumped atomic.Uint64
 }
 
-// AttachStore pumps a store's change stream into the cluster until the
-// store closes or the cluster stops. It returns a cancel function.
+// AttachStore pumps a store's ordered change stream into the cluster
+// until the store closes or the cluster stops. It returns a cancel
+// function. The pump asserts the commit pipeline's contract — strictly
+// increasing Seq — and counts violations in OrderViolations.
 func (c *Cluster) AttachStore(s *store.Store) func() {
-	ch, cancel := s.Subscribe()
+	ch, cancel := s.SubscribeNamed("invalidb")
 	att := &attachedStore{st: s}
 	c.mu.Lock()
 	c.attached = append(c.attached, att)
@@ -426,7 +402,12 @@ func (c *Cluster) AttachStore(s *store.Store) func() {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		var last uint64
 		for ev := range ch {
+			if ev.Seq <= last {
+				c.disorder.Add(1)
+			}
+			last = ev.Seq
 			c.Ingest(ev)
 			att.pumped.Store(ev.Seq)
 		}
@@ -498,6 +479,11 @@ func (c *Cluster) Stats() (ingested, notifications uint64) {
 // counts only candidate queries, so the ratio against
 // ingested × registered queries measures the index's pruning power.
 func (c *Cluster) EvaluatedMatches() uint64 { return c.evaluated.Load() }
+
+// OrderViolations returns how many attached-stream events arrived with a
+// non-increasing Seq. The commit pipeline guarantees this stays zero;
+// the property tests assert it.
+func (c *Cluster) OrderViolations() uint64 { return c.disorder.Load() }
 
 // emit delivers a notification, stamping detection time. Blocks for
 // backpressure rather than dropping; drops only during shutdown.

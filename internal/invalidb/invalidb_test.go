@@ -307,7 +307,7 @@ func TestGridShapeEquivalence(t *testing.T) {
 		{QueryPartitions: 1, ObjectPartitions: 1},
 		{QueryPartitions: 4, ObjectPartitions: 1},
 		{QueryPartitions: 1, ObjectPartitions: 4},
-		{QueryPartitions: 2, ObjectPartitions: 3, IngestTasks: 3},
+		{QueryPartitions: 2, ObjectPartitions: 3},
 	}
 	var reference []string
 	for si, shape := range shapes {

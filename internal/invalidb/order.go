@@ -42,7 +42,13 @@ type orderState struct {
 }
 
 // orderTask owns the order-related state of all stateful queries in one
-// query partition.
+// query partition. It carries no ordering-compensation machinery of its
+// own: the store's commit pipeline delivers the change stream in strict
+// global Seq order, a document's events all pass through the same
+// object-partition cell, and each cell forwards to this task over one
+// FIFO channel — so per-document rawEvents arrive here in write order,
+// and the remove+reinsert membership updates below need no Seq
+// comparisons to converge on the correct window.
 type orderTask struct {
 	cluster *Cluster
 	in      <-chan rawEvent

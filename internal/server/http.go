@@ -29,7 +29,7 @@ import (
 //	GET    /v1/db/{table}?q=…&sort=…&limit=…&offset=… — query (cacheable)
 //	POST   /v1/indexes/{table}         — create secondary index ({"path": …})
 //	GET    /v1/indexes/{table}         — list indexed field paths
-//	GET    /v1/stats                   — server statistics (plan counts, WAL/recovery)
+//	GET    /v1/stats                   — server statistics (plan counts, commit pipeline, WAL/recovery)
 //	POST   /v1/admin/snapshot          — snapshot the durable store, truncate WAL
 //	POST   /v1/transaction             — BOCC transaction commit
 //	GET    /v1/subscribe?table=…&q=…   — SSE query change stream
@@ -185,16 +185,34 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// StatsResponse is the JSON body of GET /v1/stats: the activity counters
-// plus, on durable stores, the WAL/snapshot/recovery section.
+// PipelineSection is the commit pipeline's slice of /v1/stats: ordered
+// fan-out counters with per-subscriber lag and drop accounting, the
+// publish→deliver latency histogram, the sequencer's reorder-buffer
+// occupancy, and how many notifications the SSE layer shed to slow
+// clients.
+type PipelineSection struct {
+	store.PipelineStats
+	SSEDropped uint64 `json:"sseDropped"`
+}
+
+// StatsResponse is the JSON body of GET /v1/stats: the activity counters,
+// the commit-pipeline section and, on durable stores, the
+// WAL/snapshot/recovery section.
 type StatsResponse struct {
 	Stats
+	Pipeline   PipelineSection        `json:"pipeline"`
 	Durability *store.DurabilityStats `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
-	resp := StatsResponse{Stats: s.Stats()}
+	resp := StatsResponse{
+		Stats: s.Stats(),
+		Pipeline: PipelineSection{
+			PipelineStats: s.db.PipelineStats(),
+			SSEDropped:    s.sseDropped.Load(),
+		},
+	}
 	if ds, ok := s.db.DurabilityStats(); ok {
 		resp.Durability = &ds
 	}

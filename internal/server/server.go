@@ -181,6 +181,7 @@ type Server struct {
 	planProbes       atomic.Uint64
 	planRanges       atomic.Uint64
 	planScans        atomic.Uint64
+	sseDropped       atomic.Uint64
 
 	// planLatency holds one histogram per plan kind (scan/probe/range) so
 	// experiments can attribute query latency to the chosen access path.

@@ -68,19 +68,20 @@ func (s *Server) Subscribe(q *query.Query) (*Subscription, error) {
 	return &Subscription{ch: ch, cancel: cancel}, nil
 }
 
-// fanOutToSubscribers relays one notification to all live subscriptions of
-// its query; called from the notification loop.
+// fanOutToSubscribers relays one notification to all live subscriptions
+// of its query; called from the notification loop. The sends are
+// non-blocking, so they run under the lock — that is what makes them
+// safe against a concurrent Close() on the subscription's channel.
 func (s *Server) fanOutToSubscribers(n invalidb.Notification) {
 	s.mu.Lock()
-	var chans []chan invalidb.Notification
+	defer s.mu.Unlock()
 	for _, ch := range s.subscribers[n.QueryKey] {
-		chans = append(chans, ch)
-	}
-	s.mu.Unlock()
-	for _, ch := range chans {
 		select {
 		case ch <- n:
-		default: // drop for slow consumers; the EBF still covers them
+		default:
+			// Drop for slow consumers; the EBF still covers them. The
+			// drop is counted in /v1/stats' pipeline section.
+			s.sseDropped.Add(1)
 		}
 	}
 }

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/wal"
+)
+
+// TestAutoSnapshotTriggersOnWALGrowth drives writes through a durable
+// store with a tiny AutoSnapshotBytes threshold and requires a snapshot
+// to fire on its own, truncating the log so the recovery replay stays
+// bounded — and the snapshot must of course recover correctly.
+func TestAutoSnapshotTriggersOnWALGrowth(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Store {
+		s, err := Open(&Options{
+			DataDir:           dir,
+			Durability:        Durability{Fsync: wal.FsyncNever},
+			AutoSnapshotBytes: 1 << 12, // 4 KiB: a few dozen records
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := open()
+	if err := s.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	const docs = 512
+	for i := 0; i < docs; i++ {
+		if err := s.Put("docs", document.New(fmt.Sprintf("d%04d", i), map[string]any{"n": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshot runs in the background; give it a moment.
+	deadline := time.Now().Add(10 * time.Second)
+	var st DurabilityStats
+	for time.Now().Before(deadline) {
+		st, _ = s.DurabilityStats()
+		if st.AutoSnapshots > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.AutoSnapshots == 0 {
+		t.Fatalf("no auto-snapshot after %d writes over a 4KiB threshold: %+v", docs, st)
+	}
+	if st.LastSnapshot == nil || st.LastSnapshot.Seq == 0 {
+		t.Fatalf("auto-snapshot left no snapshot info: %+v", st)
+	}
+	s.Close()
+
+	// Restart: recovery loads the auto-snapshot and replays only the tail
+	// the truncation left behind.
+	s2 := open()
+	defer s2.Close()
+	if n, err := s2.Count("docs"); err != nil || n != docs {
+		t.Fatalf("recovered %d docs (%v), want %d", n, err, docs)
+	}
+	rec, _ := s2.DurabilityStats()
+	if rec.Recovery.SnapshotSeq == 0 {
+		t.Error("recovery ignored the auto-snapshot")
+	}
+	if rec.Recovery.ReplayedRecords >= docs {
+		t.Errorf("recovery replayed %d records — the auto-snapshot did not bound the tail", rec.Recovery.ReplayedRecords)
+	}
+}
+
+// TestAutoSnapshotDisabledByDefault makes sure a durable store without
+// the option never snapshots on its own.
+func TestAutoSnapshotDisabledByDefault(t *testing.T) {
+	s := openDurable(t, t.TempDir(), wal.FsyncNever)
+	defer s.Close()
+	if err := s.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Put("docs", document.New(fmt.Sprintf("d%03d", i), map[string]any{"n": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	st, _ := s.DurabilityStats()
+	if st.AutoSnapshots != 0 || st.LastSnapshot != nil {
+		t.Errorf("unconfigured store snapshotted on its own: %+v", st)
+	}
+}

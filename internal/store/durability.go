@@ -45,6 +45,8 @@ type DurabilityStats struct {
 	WAL          wal.Stats     `json:"wal"`
 	LastSnapshot *SnapshotInfo `json:"lastSnapshot,omitempty"`
 	Recovery     RecoveryInfo  `json:"recovery"`
+	// AutoSnapshots counts snapshots triggered by Options.AutoSnapshotBytes.
+	AutoSnapshots uint64 `json:"autoSnapshots,omitempty"`
 }
 
 // DurabilityStats reports WAL/snapshot/recovery state; ok is false for
@@ -53,7 +55,7 @@ func (s *Store) DurabilityStats() (st DurabilityStats, ok bool) {
 	if s.wal == nil {
 		return DurabilityStats{}, false
 	}
-	st = DurabilityStats{DataDir: s.opts.DataDir, WAL: s.wal.Stats()}
+	st = DurabilityStats{DataDir: s.opts.DataDir, WAL: s.wal.Stats(), AutoSnapshots: s.autoSnaps.Load()}
 	s.snapMu.Lock()
 	if s.lastSnap != nil {
 		snap := *s.lastSnap
@@ -179,10 +181,28 @@ func (s *Store) recover() error {
 		}
 	}
 
+	// The pipeline tails from the recovered sequence; the WAL committer's
+	// post-commit hook feeds it, so events hit the change stream only
+	// after their record is written (never for one the log rejected) and
+	// the sequencer restores strict global Seq order across shards.
+	s.openPipeline(lastSeq)
 	l, err := wal.Open(walDir, &wal.Options{
 		Fsync:         s.opts.Durability.Fsync,
 		FsyncInterval: s.opts.Durability.FsyncInterval,
 		SegmentBytes:  s.opts.Durability.SegmentBytes,
+		OnCommit: func(payloads []any, err error) {
+			for _, p := range payloads {
+				ev := p.(*ChangeEvent)
+				if err != nil {
+					s.seqr.Skip(ev.Seq)
+				} else {
+					s.seqr.Publish(*ev)
+				}
+			}
+			if err == nil {
+				s.maybeAutoSnapshot()
+			}
+		},
 	})
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"quaestor/internal/document"
 	"quaestor/internal/query"
@@ -103,6 +104,24 @@ func TestPropertyCrashRecoveryMatchesShadow(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The change stream must mirror the WAL exactly: every event the
+	// pipeline delivers corresponds to a write the log accepted, in
+	// strictly increasing dense Seq order, and no event is ever delivered
+	// for a write the WAL did not acknowledge (the post-commit hook only
+	// fires for written records).
+	streamCh, streamCancel := s.Subscribe()
+	var streamMu sync.Mutex
+	var streamSeqs []uint64
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		for ev := range streamCh {
+			streamMu.Lock()
+			streamSeqs = append(streamSeqs, ev.Seq)
+			streamMu.Unlock()
+		}
+	}()
+
 	shadows := make([]map[string]*shadowDoc, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -176,6 +195,30 @@ func TestPropertyCrashRecoveryMatchesShadow(t *testing.T) {
 		}
 	}
 	wantSeq := s.LastSeq()
+	// Every write above was acknowledged; the stream must deliver exactly
+	// seqs 1..wantSeq, in order, before (or while) the store closes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		streamMu.Lock()
+		n := len(streamSeqs)
+		streamMu.Unlock()
+		if uint64(n) >= wantSeq || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	streamMu.Lock()
+	if uint64(len(streamSeqs)) != wantSeq {
+		t.Errorf("stream delivered %d events, WAL acknowledged %d writes", len(streamSeqs), wantSeq)
+	}
+	for i, seq := range streamSeqs {
+		if seq != uint64(i+1) {
+			t.Errorf("stream position %d carries seq %d — not the dense acknowledged order", i, seq)
+			break
+		}
+	}
+	streamMu.Unlock()
+	streamCancel()
 	s.Close()
 
 	// Phase 1: clean restart.
@@ -271,4 +314,25 @@ func TestPropertyCrashRecoveryMatchesShadow(t *testing.T) {
 	st, _ := s.DurabilityStats()
 	t.Logf("cut at byte %d: %d/%d tail ops survived, torn tail: %v", cut, survived, tailOps, st.Recovery.TornTail)
 	checkAgainstShadow(t, s, table, shadow)
+
+	// The recovered pipeline resumes exactly where the surviving log
+	// ends: no event is replayed for truncated (never-acknowledged-
+	// on-disk) writes, and new writes continue the dense Seq stream.
+	postCh, postCancel := s.Subscribe()
+	defer postCancel()
+	for i := 0; i < 3; i++ {
+		if err := s.Put(table, document.New(fmt.Sprintf("post-crash-%d", i), map[string]any{"v": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case ev := <-postCh:
+			if wantPost := got + uint64(i+1); ev.Seq != wantPost {
+				t.Errorf("post-crash event %d has seq %d, want %d", i, ev.Seq, wantPost)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("post-crash stream stalled")
+		}
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quaestor/internal/commitlog"
 	"quaestor/internal/document"
 	"quaestor/internal/index"
 	"quaestor/internal/query"
@@ -39,47 +40,23 @@ var (
 	ErrNotDurable    = errors.New("store: store has no data dir (in-memory)")
 )
 
-// OpType identifies the kind of write that produced a change event.
-type OpType int
+// OpType identifies the kind of write that produced a change event. It
+// lives in the commitlog package (the ordered commit pipeline owns the
+// event vocabulary); the store re-exports it for its callers.
+type OpType = commitlog.OpType
 
 // Write operation kinds carried on the change stream.
 const (
-	OpInsert OpType = iota
-	OpUpdate
-	OpDelete
+	OpInsert = commitlog.OpInsert
+	OpUpdate = commitlog.OpUpdate
+	OpDelete = commitlog.OpDelete
 )
 
-// String implements fmt.Stringer.
-func (o OpType) String() string {
-	switch o {
-	case OpInsert:
-		return "insert"
-	case OpUpdate:
-		return "update"
-	case OpDelete:
-		return "delete"
-	default:
-		return fmt.Sprintf("OpType(%d)", int(o))
-	}
-}
-
-// ChangeEvent is one write's after-image as published on the change stream.
-// For deletes, After carries the id with nil fields and Deleted is true.
-type ChangeEvent struct {
-	Seq     uint64 // global, strictly increasing sequence number
-	Table   string
-	Op      OpType
-	Deleted bool
-	// Before is the pre-image (nil for inserts). After is the after-image
-	// (content at Seq; for deletes only ID/Version are meaningful). Both
-	// are deep copies and safe to retain.
-	Before *document.Document
-	After  *document.Document
-	Time   time.Time
-}
-
-// Key returns the record's cache/EBF key ("table/id").
-func (e *ChangeEvent) Key() string { return e.Table + "/" + e.After.ID }
+// ChangeEvent is one write's after-image as published on the change
+// stream — an alias for commitlog.Event, the ordered pipeline's unit of
+// delivery. For deletes, After carries the id with nil fields and
+// Deleted is true.
+type ChangeEvent = commitlog.Event
 
 const defaultShards = 16
 
@@ -99,7 +76,9 @@ type Options struct {
 	// ShardsPerTable is the number of hash partitions per table
 	// (default 16). More shards reduce write contention.
 	ShardsPerTable int
-	// ChangeBuffer is the per-subscriber channel buffer (default 1024).
+	// ChangeBuffer sizes the commit pipeline's fan-out ring (the events
+	// retained for subscriber catch-up) and each flat subscription's
+	// channel buffer (default 1024).
 	ChangeBuffer int
 	// ReplayBuffer is how many recent change events are retained per table
 	// for replay when a query is activated in InvaliDB (default 4096).
@@ -114,6 +93,11 @@ type Options struct {
 	DataDir string
 	// Durability tunes the WAL when DataDir is set.
 	Durability Durability
+	// AutoSnapshotBytes, when positive on a durable store, triggers a
+	// background Snapshot() once the WAL's on-disk size reaches this many
+	// bytes, keeping the recovery replay bounded without operator action.
+	// Zero leaves snapshots manual.
+	AutoSnapshotBytes int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -135,6 +119,7 @@ func (o *Options) withDefaults() Options {
 	}
 	out.DataDir = o.DataDir
 	out.Durability = o.Durability
+	out.AutoSnapshotBytes = o.AutoSnapshotBytes
 	return out
 }
 
@@ -147,7 +132,13 @@ type Store struct {
 	tables map[string]*table
 	closed bool
 
-	stream *changeStream
+	// pipeline is the ordered commit pipeline: every committed write is
+	// fed through seqr (which restores strict global Seq order) into the
+	// fan-out log that all change-stream consumers subscribe to. On
+	// durable stores the WAL committer's post-commit hook feeds seqr; on
+	// in-memory stores commit() does.
+	pipeline *commitlog.Log
+	seqr     *commitlog.Sequencer
 
 	// wal is non-nil for durable stores (Options.DataDir set).
 	wal *wal.Log
@@ -156,6 +147,10 @@ type Store struct {
 	snapMu   sync.Mutex
 	lastSnap *SnapshotInfo
 	recovery RecoveryInfo
+
+	// Auto-snapshot machinery (Options.AutoSnapshotBytes).
+	autoSnapBusy atomic.Bool
+	autoSnaps    atomic.Uint64
 }
 
 type table struct {
@@ -202,15 +197,27 @@ func Open(opts *Options) (*Store, error) {
 	s := &Store{
 		opts:   o,
 		tables: map[string]*table{},
-		stream: newChangeStream(o.ChangeBuffer, o.ReplayBuffer),
 	}
 	if o.DataDir == "" {
+		s.openPipeline(0)
 		return s, nil
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// openPipeline builds the ordered commit pipeline, tailing from lastSeq
+// (non-zero after recovery).
+func (s *Store) openPipeline(lastSeq uint64) {
+	s.pipeline = commitlog.NewLog(&commitlog.Options{
+		Ring:           s.opts.ChangeBuffer,
+		ReplayPerTable: s.opts.ReplayBuffer,
+		StartSeq:       lastSeq,
+		Clock:          s.opts.Clock,
+	})
+	s.seqr = commitlog.NewSequencer(s.pipeline, lastSeq)
 }
 
 // MustOpen is Open for callers without a useful error path (tests,
@@ -224,7 +231,9 @@ func MustOpen(opts *Options) *Store {
 }
 
 // Close shuts the store down, closes all change-stream subscriptions and
-// cleanly seals the WAL (flushing and fsyncing pending appends).
+// cleanly seals the WAL (flushing and fsyncing pending appends). The
+// pipeline closes before the WAL so the committer's post-commit hook can
+// never block on a fan-out ring nobody is draining anymore.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -232,8 +241,8 @@ func (s *Store) Close() {
 		return
 	}
 	s.closed = true
-	s.stream.close()
 	s.mu.Unlock()
+	s.pipeline.Close()
 	if s.wal != nil {
 		s.wal.Close()
 	}
@@ -326,8 +335,8 @@ func (s *Store) Insert(tableName string, doc *document.Document) error {
 	stored.Version = 1
 	sh.docs[doc.ID] = stored
 	sh.indexAdd(stored)
-	ev := ChangeEvent{Table: tableName, Op: OpInsert, After: stored.Clone()}
-	w := s.stampLocked(&ev)
+	ev := &ChangeEvent{Table: tableName, Op: OpInsert, After: stored.Clone()}
+	w := s.stampLocked(ev)
 	sh.mu.Unlock()
 
 	return s.commit(ev, w)
@@ -379,8 +388,8 @@ func (s *Store) Put(tableName string, doc *document.Document) error {
 	}
 	sh.docs[doc.ID] = stored
 	sh.indexAdd(stored)
-	ev := ChangeEvent{Table: tableName, Op: op, Before: before, After: stored.Clone()}
-	w := s.stampLocked(&ev)
+	ev := &ChangeEvent{Table: tableName, Op: op, Before: before, After: stored.Clone()}
+	w := s.stampLocked(ev)
 	sh.mu.Unlock()
 
 	return s.commit(ev, w)
@@ -431,8 +440,8 @@ func (s *Store) Update(tableName, id string, spec UpdateSpec) (*document.Documen
 	sh.docs[id] = next
 	sh.indexAdd(next)
 	after := next.Clone()
-	ev := ChangeEvent{Table: tableName, Op: OpUpdate, Before: before, After: after}
-	w := s.stampLocked(&ev)
+	ev := &ChangeEvent{Table: tableName, Op: OpUpdate, Before: before, After: after}
+	w := s.stampLocked(ev)
 	sh.mu.Unlock()
 
 	if err := s.commit(ev, w); err != nil {
@@ -527,8 +536,8 @@ func (s *Store) Delete(tableName, id string) error {
 	sh.indexRemove(prev)
 	before := prev.Clone()
 	tomb := &document.Document{ID: id, Version: before.Version + 1}
-	ev := ChangeEvent{Table: tableName, Op: OpDelete, Deleted: true, Before: before, After: tomb}
-	w := s.stampLocked(&ev)
+	ev := &ChangeEvent{Table: tableName, Op: OpDelete, Deleted: true, Before: before, After: tomb}
+	w := s.stampLocked(ev)
 	sh.mu.Unlock()
 
 	return s.commit(ev, w)
@@ -762,12 +771,12 @@ func (s *Store) Count(tableName string) (int, error) {
 }
 
 // stampLocked assigns ev its global sequence number and timestamp and,
-// on durable stores, enqueues its WAL record for group commit. It MUST
-// run inside the caller's shard critical section: that is what makes the
-// per-key order of records in the log match the serialization order the
-// shard lock imposes (recovery sorts records by Seq, which is only
-// meaningful per key if Seq assignment and enqueue are atomic with the
-// write).
+// on durable stores, enqueues its WAL record for group commit with ev
+// attached as the committer's post-commit payload. It MUST run inside
+// the caller's shard critical section: that is what makes the per-key
+// order of records in the log match the serialization order the shard
+// lock imposes (recovery sorts records by Seq, which is only meaningful
+// per key if Seq assignment and enqueue are atomic with the write).
 func (s *Store) stampLocked(ev *ChangeEvent) *wal.Waiter {
 	ev.Seq = s.seq.Add(1)
 	ev.Time = s.opts.Clock()
@@ -783,35 +792,61 @@ func (s *Store) stampLocked(ev *ChangeEvent) *wal.Waiter {
 		rec.Kind = wal.KindPut
 		rec.Doc = ev.After // a private clone; the committer reads it concurrently
 	}
-	return s.wal.Enqueue(rec)
+	return s.wal.EnqueueWith(rec, ev)
 }
 
-// commit waits for ev's WAL record to become durable (per the fsync
-// policy), then publishes ev on the change stream — the log always leads
-// the stream. A WAL failure is returned without publishing; the
+// commit finishes a write's journey onto the ordered commit pipeline.
+//
+// Durable stores: the WAL committer's post-commit hook feeds every
+// written event into the sequencer, so commit only waits for the record
+// to become durable (per the fsync policy) — by the time an
+// fsync-acknowledged Wait returns, the event is already on the pipeline.
+// The log always leads the stream: an event whose record never committed
+// is never published; its Seq is skipped so the events serialized behind
+// it are released. A WAL failure is returned to the writer; the
 // in-memory mutation has already happened, so a wedged log makes the
 // store effectively read-only for durable correctness.
 //
-// Publish order across concurrent writers is not guaranteed to follow
-// Seq (a pre-existing property of the unlock-then-publish protocol);
-// consumers that care about per-key ordering must compare ev.Seq, which
-// IS assigned in serialization order under the shard lock.
-func (s *Store) commit(ev ChangeEvent, w *wal.Waiter) error {
+// In-memory stores publish directly; the sequencer still restores global
+// Seq order because writers release their shard locks before reaching
+// this point, so two racing same-key writes can arrive here swapped.
+// Every subscriber observes strictly increasing Seq either way.
+func (s *Store) commit(ev *ChangeEvent, w *wal.Waiter) error {
 	if w != nil {
 		if err := w.Wait(); err != nil {
+			// The record never committed: release its slot in the global
+			// order so later events are not held back behind the gap.
+			s.seqr.Skip(ev.Seq)
 			return fmt.Errorf("store: wal append: %w", err)
 		}
+		return nil
 	}
-	s.stream.publish(ev)
+	s.seqr.Publish(*ev)
 	return nil
 }
 
 // Subscribe registers a change-stream consumer receiving every write's
-// after-image, in sequence order. Cancel releases the subscription. A slow
-// consumer blocks writers once its buffer fills — InvaliDB's ingestion
-// workers drain continuously, mirroring the transactional pull in the paper.
+// after-image in strict global Seq order. Cancel releases the
+// subscription. A slow consumer applies backpressure to commits once it
+// falls a full fan-out ring behind — InvaliDB's ingestion drains
+// continuously, mirroring the transactional pull in the paper.
 func (s *Store) Subscribe() (<-chan ChangeEvent, func()) {
-	return s.stream.subscribe()
+	return s.SubscribeNamed("subscriber")
+}
+
+// SubscribeNamed is Subscribe with a name reported in PipelineStats.
+func (s *Store) SubscribeNamed(name string) (<-chan ChangeEvent, func()) {
+	return s.pipeline.SubscribeTail(name, commitlog.Block).Flatten(s.opts.ChangeBuffer)
+}
+
+// SubscribeFrom registers an ordered batch consumer starting after
+// fromSeq: retained events with Seq > fromSeq are delivered first (the
+// fan-out ring holds the last ChangeBuffer events), then the live tail,
+// all as contiguous Seq-ordered batches. This is the attach point for
+// log-shipping replication: a replica bootstraps from a snapshot, then
+// subscribes from the snapshot's sequence floor.
+func (s *Store) SubscribeFrom(name string, fromSeq uint64) *commitlog.Subscription {
+	return s.pipeline.Subscribe(name, fromSeq, commitlog.Block)
 }
 
 // Replay returns the buffered recent change events for a table with
@@ -820,7 +855,45 @@ func (s *Store) Subscribe() (<-chan ChangeEvent, func()) {
 // (Section 4.1: "all recently received objects are replayed for a query
 // when it is installed").
 func (s *Store) Replay(tableName string, afterSeq uint64) []ChangeEvent {
-	return s.stream.replay(tableName, afterSeq)
+	return s.pipeline.Replay(tableName, afterSeq)
+}
+
+// PipelineStats describes the ordered commit pipeline: fan-out counters,
+// per-subscriber lag/drops, the publish→deliver latency histogram and
+// the sequencer's reorder-buffer occupancy.
+type PipelineStats struct {
+	Stream    commitlog.Stats          `json:"stream"`
+	Sequencer commitlog.SequencerStats `json:"sequencer"`
+}
+
+// PipelineStats reports the commit pipeline's counters.
+func (s *Store) PipelineStats() PipelineStats {
+	return PipelineStats{Stream: s.pipeline.Stats(), Sequencer: s.seqr.Stats()}
+}
+
+// maybeAutoSnapshot triggers a background snapshot once the WAL's
+// on-disk size reaches Options.AutoSnapshotBytes. It is called from the
+// WAL committer's post-commit hook — once per committed batch, the only
+// point where the on-disk size is current (write ticks would race the
+// committer under the asynchronous fsync policies) — so the snapshot
+// itself must run on its own goroutine: it rotates the log via a
+// control request the committer has to be free to serve. At most one
+// auto-snapshot is in flight at a time.
+func (s *Store) maybeAutoSnapshot() {
+	if s.opts.AutoSnapshotBytes <= 0 || s.wal.SizeBytes() < s.opts.AutoSnapshotBytes {
+		return
+	}
+	if !s.autoSnapBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.autoSnapBusy.Store(false)
+		// Failures (e.g. a store closing mid-snapshot) are dropped: the
+		// next threshold crossing retries.
+		if _, err := s.Snapshot(); err == nil {
+			s.autoSnaps.Add(1)
+		}
+	}()
 }
 
 // LastSeq returns the sequence number of the most recent write.

@@ -74,6 +74,15 @@ type Options struct {
 	// QueueDepth bounds the append queue; full queues apply backpressure
 	// to writers (default 1024).
 	QueueDepth int
+	// OnCommit, when set, is invoked on the committer goroutine after
+	// every group commit with the payloads attached via EnqueueWith, in
+	// batch (enqueue) order, and the group's shared outcome — nil when
+	// the write (and, under FsyncAlways, the fsync) succeeded. It runs
+	// before the group's waiters are woken, so a successful Wait implies
+	// the hook already observed the record. The store's ordered
+	// change-stream fan-out hangs off this hook. The hook must not call
+	// back into the Log.
+	OnCommit func(payloads []any, err error)
 }
 
 func (o *Options) withDefaults() Options {
@@ -91,6 +100,7 @@ func (o *Options) withDefaults() Options {
 	if o.QueueDepth > 0 {
 		out.QueueDepth = o.QueueDepth
 	}
+	out.OnCommit = o.OnCommit
 	return out
 }
 
@@ -135,6 +145,10 @@ type Log struct {
 	// appends (FsyncInterval/FsyncNever ack before the write) surface it
 	// on the next call.
 	failed atomic.Pointer[error]
+	// diskSize tracks the total on-disk log size so hot-path callers
+	// (the auto-snapshot threshold check runs once per commit batch) can
+	// read it without taking statsMu or summing the segment map.
+	diskSize atomic.Int64
 
 	// Committer-owned state (no locking needed).
 	f       *os.File
@@ -143,6 +157,7 @@ type Log struct {
 	dirty   bool  // unsynced bytes in f
 	wedged  error // sticky write/fsync failure; fails all later appends
 	wbuf    []byte
+	pbuf    []any // scratch payload batch for the OnCommit hook
 
 	// Shared stats, guarded by statsMu.
 	statsMu    sync.Mutex
@@ -167,9 +182,12 @@ type request struct {
 	// goroutine, so encoding parallelizes across writers instead of
 	// serializing in the committer.
 	frame []byte
-	done  chan error // buffered(1); receives the commit outcome
-	ctl   ctl
-	reply chan ctlReply
+	// payload is an opaque value handed to Options.OnCommit once the
+	// record's group commits (nil payloads are not reported).
+	payload any
+	done    chan error // buffered(1); receives the commit outcome
+	ctl     ctl
+	reply   chan ctlReply
 }
 
 type ctlReply struct {
@@ -289,9 +307,16 @@ func Open(dir string, opts *Options) (*Log, error) {
 		l.segSize = valid
 		l.segs[l.segNum] = valid
 	}
+	for _, sz := range l.segs {
+		l.diskSize.Add(sz)
+	}
 	go l.run()
 	return l, nil
 }
+
+// SizeBytes returns the log's total on-disk size (all segments). Cheap:
+// a single atomic load, safe on any hot path.
+func (l *Log) SizeBytes() int64 { return l.diskSize.Load() }
 
 func (l *Log) createSegment() error {
 	path := filepath.Join(l.dir, segmentName(l.segNum))
@@ -321,7 +346,14 @@ func (l *Log) createSegment() error {
 // record is in the committer's ordered queue (those policies already
 // accept losing an acknowledged tail on crash), with any later write
 // failure latched and returned by subsequent calls.
-func (l *Log) Enqueue(rec Record) *Waiter {
+func (l *Log) Enqueue(rec Record) *Waiter { return l.EnqueueWith(rec, nil) }
+
+// EnqueueWith is Enqueue with an opaque payload attached: once the
+// record's group commits, Options.OnCommit receives the payload (with the
+// group's outcome) before the record's waiter resolves. A caller that
+// received an error Waiter from EnqueueWith must assume the hook never
+// saw the payload — the record was rejected before it reached the queue.
+func (l *Log) EnqueueWith(rec Record, payload any) *Waiter {
 	if errp := l.failed.Load(); errp != nil {
 		return resolvedWaiter(*errp)
 	}
@@ -329,24 +361,22 @@ func (l *Log) Enqueue(rec Record) *Waiter {
 	if err != nil {
 		return resolvedWaiter(err)
 	}
-	if l.opts.Fsync != FsyncAlways {
-		l.closeMu.RLock()
-		if l.closed {
-			l.closeMu.RUnlock()
-			return resolvedWaiter(ErrClosed)
-		}
-		l.queue <- &request{frame: frame}
-		l.closeMu.RUnlock()
-		return resolvedWaiter(nil)
+	req := &request{frame: frame, payload: payload}
+	var w *Waiter
+	if l.opts.Fsync == FsyncAlways {
+		w = &Waiter{ch: make(chan error, 1)}
+		req.done = w.ch
 	}
-	w := &Waiter{ch: make(chan error, 1)}
 	l.closeMu.RLock()
 	if l.closed {
 		l.closeMu.RUnlock()
 		return resolvedWaiter(ErrClosed)
 	}
-	l.queue <- &request{frame: frame, done: w.ch}
+	l.queue <- req
 	l.closeMu.RUnlock()
+	if w == nil {
+		return resolvedWaiter(nil)
+	}
 	return w
 }
 
@@ -401,6 +431,7 @@ func (l *Log) Remove(sealed []string) error {
 			return err
 		}
 		l.statsMu.Lock()
+		l.diskSize.Add(-l.segs[n])
 		delete(l.segs, n)
 		l.statsMu.Unlock()
 	}
@@ -552,6 +583,7 @@ func (l *Log) commitGroup(group []*request) {
 		if err == nil {
 			l.segSize += int64(len(l.wbuf))
 			l.dirty = true
+			l.diskSize.Add(int64(len(l.wbuf)))
 			l.statsMu.Lock()
 			l.segs[l.segNum] = l.segSize
 			l.statsMu.Unlock()
@@ -575,6 +607,20 @@ func (l *Log) commitGroup(group []*request) {
 	// len(batchBuckets) is the open-ended overflow slot.
 	l.batchSizes[sort.SearchInts(batchBuckets, len(group))]++
 	l.statsMu.Unlock()
+	if l.opts.OnCommit != nil {
+		l.pbuf = l.pbuf[:0]
+		for _, req := range group {
+			if req.payload != nil {
+				l.pbuf = append(l.pbuf, req.payload)
+			}
+		}
+		if len(l.pbuf) > 0 {
+			// Before waking the waiters: an acknowledged write is already
+			// past the hook (the change stream never trails a returned
+			// fsync=always ack).
+			l.opts.OnCommit(l.pbuf, err)
+		}
+	}
 	for _, req := range group {
 		if req.done != nil {
 			req.done <- err
