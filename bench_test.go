@@ -19,6 +19,7 @@ import (
 	"quaestor/internal/experiments"
 	"quaestor/internal/invalidb"
 	"quaestor/internal/query"
+	"quaestor/internal/replication"
 	"quaestor/internal/server"
 	"quaestor/internal/sim"
 	"quaestor/internal/store"
@@ -454,6 +455,144 @@ func BenchmarkCommitLogFanout(b *testing.B) {
 			if got, want := delivered.Load(), uint64(b.N)*uint64(subs); got != want {
 				b.Fatalf("delivered %d events, want %d", got, want)
 			}
+		})
+	}
+}
+
+// BenchmarkReplicationApply measures the replica-side apply path: one
+// applier goroutine installing replicated record batches through the
+// idempotent recovery-style path (ns/op is per record, batches of 256 —
+// the pipeline's delivery batch size). "memory" isolates the in-memory
+// apply; "durable-never" adds the replica's own WAL re-logging.
+func BenchmarkReplicationApply(b *testing.B) {
+	const batchSize = 256
+	for _, mode := range []string{"memory", "durable-never"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := &store.Options{}
+			if mode != "memory" {
+				opts.DataDir = b.TempDir()
+				opts.Durability = store.Durability{Fsync: wal.FsyncNever}
+			}
+			s, err := store.Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(s.Close)
+			s.SetReadOnly(true)
+			// Prebuilt after-images: the apply path owns the pointers and
+			// never mutates them, so reuse across records is safe.
+			docs := make([]*document.Document, batchSize)
+			for i := range docs {
+				docs[i] = document.New(fmt.Sprintf("d%05d", i), map[string]any{"rank": int64(i), "tag": "t001"})
+				docs[i].Version = 1
+			}
+			batch := make([]wal.Record, 0, batchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			seq := uint64(0)
+			for done := 0; done < b.N; {
+				n := batchSize
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				batch = batch[:0]
+				for i := 0; i < n; i++ {
+					seq++
+					batch = append(batch, wal.Record{Seq: seq, Kind: wal.KindPut, Table: "docs", Doc: docs[i]})
+				}
+				applied, err := s.ApplyReplicated(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if applied != n {
+					b.Fatalf("applied %d of %d", applied, n)
+				}
+				done += n
+			}
+		})
+	}
+}
+
+// BenchmarkStoreWriteReplicated is the primary-side cost of having one
+// attached replica: the fsync=never write path with 64 concurrent
+// writers, measured three ways.
+//
+//   - "baseline": no subscriber (the PR 3 write path).
+//   - "fanout-only": a SubscribeFrom consumer drains every batch but does
+//     no apply work. This isolates what the write path itself pays for an
+//     attached replica — the fan-out append, pump hand-off and Block
+//     backpressure — which is the ≤10% budget: on a real deployment the
+//     replica's apply CPU lives on another machine.
+//   - "replica-attached": the full in-process pump (convert + idempotent
+//     apply into a second store). On a multi-core host the pump rides
+//     spare cores and tracks fanout-only; on a starved host (1-vCPU CI)
+//     it timeshares the writers' core and honestly shows that cost.
+//
+// The workload bounds the key space so the live heap stays stable — an
+// in-process replica doubles the resident data set, and an unbounded
+// workload would bill its GC cost to the write path that a real replica
+// never pays.
+func BenchmarkStoreWriteReplicated(b *testing.B) {
+	const keys = 1 << 14
+	for _, variant := range []string{"baseline", "fanout-only", "replica-attached"} {
+		b.Run(variant, func(b *testing.B) {
+			s := benchWriteStore(b, "never")
+			var pumpWG sync.WaitGroup
+			if variant != "baseline" {
+				sub, err := s.SubscribeFrom("replica:bench", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var applied atomic.Uint64
+				var replica *store.Store
+				if variant == "replica-attached" {
+					replica = store.MustOpen(nil)
+					b.Cleanup(replica.Close)
+					replica.SetReadOnly(true)
+				}
+				pumpWG.Add(1)
+				go func() {
+					defer pumpWG.Done()
+					var recs []wal.Record
+					for batch := range sub.Events() {
+						if replica == nil {
+							applied.Add(uint64(len(batch)))
+							continue
+						}
+						recs = replication.AppendRecords(recs[:0], batch)
+						n, err := replica.ApplyReplicated(recs)
+						if err != nil {
+							return
+						}
+						applied.Add(uint64(n))
+					}
+				}()
+				b.Cleanup(func() {
+					// Drain: every acknowledged write must have reached the
+					// consumer before teardown.
+					deadline := time.Now().Add(30 * time.Second)
+					for applied.Load() < uint64(b.N) {
+						if time.Now().After(deadline) {
+							b.Fatalf("consumer stalled at %d, want %d", applied.Load(), b.N)
+						}
+						time.Sleep(time.Millisecond)
+					}
+					sub.Cancel()
+					pumpWG.Wait()
+				})
+			}
+			var n atomic.Uint64
+			b.ReportAllocs()
+			b.SetParallelism(64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := n.Add(1)
+					if err := s.Put("docs", document.New(fmt.Sprintf("d%07d", i%keys), map[string]any{"rank": int64(i)})); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

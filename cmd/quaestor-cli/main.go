@@ -21,6 +21,8 @@
 //	stats                                server statistics
 //	snapshot                             snapshot the durable store (truncates WAL)
 //	wal-info                             durability state: segments, batches, recovery
+//	repl-status                          replication role, lag and staleness bound
+//	promote                              promote a replica to a writable primary
 //
 // A bearer token for servers with authorization enabled is passed via
 // -token.
@@ -93,6 +95,10 @@ func main() {
 		err = c.simple(http.MethodPost, "/v1/admin/snapshot", nil)
 	case "wal-info":
 		err = c.walInfo()
+	case "repl-status":
+		err = c.replStatus()
+	case "promote":
+		err = c.simple(http.MethodPost, "/v1/replication/promote", nil)
 	default:
 		fail("unknown command %q", cmd)
 	}
@@ -150,7 +156,8 @@ func (c *cli) get(path string) error {
 
 func printResponse(resp *http.Response, headers bool) error {
 	if headers {
-		for _, h := range []string{"Cache-Control", "ETag", "Age", "X-Cache", "X-Quaestor-Key", "X-Quaestor-Rep"} {
+		for _, h := range []string{"Cache-Control", "ETag", "Age", "X-Cache", "X-Quaestor-Key", "X-Quaestor-Rep",
+			"X-Quaestor-Replica", "X-Quaestor-Staleness-Ms", "X-Quaestor-Replica-Lag"} {
 			if v := resp.Header.Get(h); v != "" {
 				fmt.Printf("%s: %s\n", h, v)
 			}
@@ -268,6 +275,52 @@ func (c *cli) ebf() error {
 	fmt.Printf("stale entries: %d\n", body.Entries)
 	fmt.Printf("set bits: %d (%.2f%% load)\n", f.PopCount(), 100*float64(f.PopCount())/float64(f.M()))
 	fmt.Printf("estimated false positive rate: %.4f\n", f.EstimatedFalsePositiveRate())
+	return nil
+}
+
+// replStatus prints the node's replication role: a primary reports its
+// sequence, a replica its lag and staleness bound.
+func (c *cli) replStatus() error {
+	resp, err := c.request(http.MethodGet, "/v1/replication/status", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var st struct {
+		Role           string  `json:"role"`
+		State          string  `json:"state"`
+		Primary        string  `json:"primary"`
+		LastSeq        uint64  `json:"lastSeq"`
+		PrimaryLastSeq uint64  `json:"primaryLastSeq"`
+		LagSeq         uint64  `json:"lagSeq"`
+		StalenessMs    float64 `json:"stalenessMs"`
+		Bootstraps     uint64  `json:"bootstraps"`
+		Reconnects     uint64  `json:"reconnects"`
+		RecordsApplied uint64  `json:"recordsApplied"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Role == "primary" {
+		fmt.Printf("role: primary (last seq %d)\n", st.LastSeq)
+		return nil
+	}
+	fmt.Printf("role: replica of %s\n", st.Primary)
+	fmt.Printf("state: %s\n", st.State)
+	fmt.Printf("applied seq: %d (primary at %d, lag %d)\n", st.LastSeq, st.PrimaryLastSeq, st.LagSeq)
+	if st.StalenessMs >= 0 {
+		fmt.Printf("staleness bound: %.0fms\n", st.StalenessMs)
+	} else {
+		fmt.Println("staleness bound: not yet caught up")
+	}
+	fmt.Printf("bootstraps: %d, reconnects: %d, records applied: %d\n", st.Bootstraps, st.Reconnects, st.RecordsApplied)
 	return nil
 }
 

@@ -12,11 +12,20 @@
 // recovers snapshot + log tail (see /v1/stats for the recovery and WAL
 // counters).
 //
+// With -replica-of the node runs as a read-only log-shipping replica of
+// another server: it bootstraps from the primary's snapshot, follows its
+// ordered commit pipeline, serves reads with staleness headers, rejects
+// writes with 503, and can be promoted to a writable primary via
+// POST /v1/replication/promote (quaestor-cli promote).
+//
 // Usage:
 //
 //	quaestor-server -addr :8080 -tables posts,users \
 //	    -query-partitions 4 -object-partitions 2 -mode quaestor \
 //	    -data-dir ./data -fsync always
+//
+//	quaestor-server -addr :8081 -replica-of http://localhost:8080 \
+//	    -data-dir ./replica-data
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"quaestor/internal/invalidb"
+	"quaestor/internal/replication"
 	"quaestor/internal/server"
 	"quaestor/internal/store"
 	"quaestor/internal/wal"
@@ -47,6 +57,8 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 25*time.Millisecond, "max sync lag under -fsync interval")
 	segmentMB := flag.Int64("wal-segment-mb", 8, "WAL segment rotation threshold in MiB")
 	autoSnapMB := flag.Int64("auto-snapshot-mb", 0, "snapshot automatically once the WAL reaches this many MiB (0 = manual snapshots only)")
+	replicaOf := flag.String("replica-of", "", "run as a read-only log-shipping replica of this primary base URL (e.g. http://primary:8080)")
+	replicaName := flag.String("replica-name", "", "replica id reported in the primary's pipeline stats (default: the listen address)")
 	flag.Parse()
 
 	var mode server.CacheMode
@@ -95,6 +107,27 @@ func main() {
 		},
 	})
 	defer srv.Close()
+
+	if *replicaOf != "" {
+		// Tables, indexes and documents all arrive through replication;
+		// -tables/-indexes are for primaries and are ignored here.
+		name := *replicaName
+		if name == "" {
+			name = *addr
+		}
+		repl := replication.New(replication.Options{
+			Store:   db,
+			Primary: *replicaOf,
+			Name:    name,
+			Logf:    log.Printf,
+		})
+		repl.Run()
+		defer repl.Stop()
+		srv.AttachReplica(repl)
+		fmt.Printf("quaestor-server listening on %s as read-only replica of %s (promote via POST /v1/replication/promote)\n",
+			*addr, *replicaOf)
+		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	}
 
 	for _, t := range strings.Split(*tables, ",") {
 		t = strings.TrimSpace(t)

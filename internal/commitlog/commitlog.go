@@ -21,6 +21,7 @@
 package commitlog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,14 @@ import (
 
 	"quaestor/internal/document"
 )
+
+// ErrSeqTruncated is returned by Subscribe when the requested floor
+// predates the fan-out ring's retention: events between fromSeq and the
+// oldest retained event have been overwritten (or were published before
+// this log opened), so a subscription could not be gapless. A replica
+// receiving it must fall back to a coarser catch-up channel — shipped WAL
+// segments, or a fresh snapshot bootstrap.
+var ErrSeqTruncated = errors.New("commitlog: sequence truncated from fan-out ring")
 
 // OpType identifies the kind of write that produced a change event.
 type OpType int
@@ -153,9 +162,13 @@ type Log struct {
 
 	lastSeq   uint64
 	published uint64
-	subs      map[int]*Subscription
-	nextID    int
-	closed    bool
+	// truncSeq is the newest Seq no longer retained: StartSeq at open
+	// (events up to it predate this log), then the Seq of each event the
+	// ring overwrites. Subscribe can serve any floor >= truncSeq gaplessly.
+	truncSeq uint64
+	subs     map[int]*Subscription
+	nextID   int
+	closed   bool
 
 	replays map[string]*ring
 
@@ -166,11 +179,12 @@ type Log struct {
 func NewLog(opts *Options) *Log {
 	o := opts.withDefaults()
 	l := &Log{
-		opts:    o,
-		ring:    make([]entry, o.Ring),
-		lastSeq: o.StartSeq,
-		subs:    map[int]*Subscription{},
-		replays: map[string]*ring{},
+		opts:     o,
+		ring:     make([]entry, o.Ring),
+		lastSeq:  o.StartSeq,
+		truncSeq: o.StartSeq,
+		subs:     map[int]*Subscription{},
+		replays:  map[string]*ring{},
 	}
 	l.data = sync.NewCond(&l.mu)
 	l.space = sync.NewCond(&l.mu)
@@ -221,7 +235,13 @@ func (l *Log) Append(events []Event) {
 			return
 		}
 		ev := events[i]
-		l.ring[l.pos%uint64(len(l.ring))] = entry{ev: ev, at: now}
+		slot := l.pos % uint64(len(l.ring))
+		if l.pos >= uint64(len(l.ring)) {
+			// Overwriting the oldest retained event moves the truncation
+			// horizon: floors below it can no longer be served gaplessly.
+			l.truncSeq = l.ring[slot].ev.Seq
+		}
+		l.ring[slot] = entry{ev: ev, at: now}
 		l.pos++
 		l.lastSeq = ev.Seq
 		l.published++
@@ -234,6 +254,20 @@ func (l *Log) Append(events []Event) {
 	}
 	l.mu.Unlock()
 	l.data.Broadcast()
+}
+
+// Truncate raises the log's truncation horizon: floors below seq can no
+// longer be served gaplessly. A store that imports a snapshot calls
+// this with the snapshot's floor — the collapsed range was never
+// appended to this log, and without moving the horizon a subscriber
+// attaching from inside it would be silently fast-forwarded over
+// history it never saw (the gap ErrSeqTruncated exists to refuse).
+func (l *Log) Truncate(seq uint64) {
+	l.mu.Lock()
+	if seq > l.truncSeq {
+		l.truncSeq = seq
+	}
+	l.mu.Unlock()
 }
 
 // Replay returns the buffered recent events for a table with
@@ -257,10 +291,16 @@ func (l *Log) SubscribeTail(name string, policy Policy) *Subscription {
 
 // Subscribe registers a subscriber that first receives every retained
 // event with Seq > fromSeq (catch-up through the ring), then the live
-// tail. Events older than the ring's retention are gone; a replica that
-// needs them must bootstrap from a snapshot first.
-func (l *Log) Subscribe(name string, fromSeq uint64, policy Policy) *Subscription {
+// tail. When fromSeq predates the ring's retention the subscription would
+// have a gap, so Subscribe refuses with ErrSeqTruncated — the caller must
+// catch up through shipped WAL segments or a snapshot bootstrap first.
+func (l *Log) Subscribe(name string, fromSeq uint64, policy Policy) (*Subscription, error) {
 	l.mu.Lock()
+	if fromSeq < l.truncSeq {
+		oldest := l.truncSeq
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: from %d, oldest gapless floor is %d", ErrSeqTruncated, fromSeq, oldest)
+	}
 	n := uint64(len(l.ring))
 	start := uint64(0)
 	if l.pos > n {
@@ -273,7 +313,7 @@ func (l *Log) Subscribe(name string, fromSeq uint64, policy Policy) *Subscriptio
 			break
 		}
 	}
-	return l.subscribeLocked(name, cursor, policy)
+	return l.subscribeLocked(name, cursor, policy), nil
 }
 
 // subscribeLocked installs the subscription and starts its pump. The
@@ -333,7 +373,11 @@ type SubscriberStats struct {
 
 // Stats is a point-in-time snapshot of pipeline activity.
 type Stats struct {
-	LastSeq     uint64            `json:"lastSeq"`
+	LastSeq uint64 `json:"lastSeq"`
+	// TruncSeq is the newest Seq evicted from the fan-out ring; Subscribe
+	// floors below it return ErrSeqTruncated (replicas fall back to WAL
+	// segment shipping).
+	TruncSeq    uint64            `json:"truncSeq"`
 	Published   uint64            `json:"published"`
 	Subscribers []SubscriberStats `json:"subscribers,omitempty"`
 	// Latency is the publish→deliver latency histogram (per batch,
@@ -344,7 +388,7 @@ type Stats struct {
 // Stats reports the log's counters and per-subscriber progress.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
-	st := Stats{LastSeq: l.lastSeq, Published: l.published}
+	st := Stats{LastSeq: l.lastSeq, TruncSeq: l.truncSeq, Published: l.published}
 	for _, s := range l.subs {
 		sub := SubscriberStats{
 			Name:      s.name,
@@ -437,12 +481,28 @@ func (s *Subscription) run() {
 		if count > batchMax {
 			count = batchMax
 		}
-		batch := make([]Event, count)
-		at := l.ring[s.cursor%n].at
-		for i := uint64(0); i < count; i++ {
-			batch[i] = l.ring[(s.cursor+i)%n].ev
+		start := s.cursor
+		at := l.ring[start%n].at
+		var batch []Event
+		if s.policy == Block {
+			// A Block cursor gates the appender (ringFullLocked), so the
+			// slots in [cursor, cursor+count) cannot be overwritten until
+			// the cursor advances — copy them without holding the lock,
+			// keeping a large memcpy out of the appender's critical path.
+			l.mu.Unlock()
+			batch = make([]Event, count)
+			for i := uint64(0); i < count; i++ {
+				batch[i] = l.ring[(start+i)%n].ev
+			}
+		} else {
+			// DropOldest slots can be overwritten at any time; copy under
+			// the lock.
+			batch = make([]Event, count)
+			for i := uint64(0); i < count; i++ {
+				batch[i] = l.ring[(start+i)%n].ev
+			}
+			l.mu.Unlock()
 		}
-		l.mu.Unlock()
 
 		select {
 		case s.ch <- batch:

@@ -1,6 +1,7 @@
 package commitlog
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -113,7 +114,10 @@ func TestSubscribeFromSeqCatchesUpThroughRing(t *testing.T) {
 	for s := uint64(1); s <= 10; s++ {
 		l.Append([]Event{ev(s)})
 	}
-	sub := l.Subscribe("replica", 4, Block)
+	sub, err := l.Subscribe("replica", 4, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
 	batch := <-sub.Events()
 	if len(batch) != 6 {
 		t.Fatalf("catch-up batch has %d events, want 6 (seqs 5..10): %v", len(batch), batch)
@@ -135,6 +139,75 @@ func TestSubscribeFromSeqCatchesUpThroughRing(t *testing.T) {
 		if _, ok := <-sub.Events(); ok {
 			t.Error("cancelled subscription channel still open")
 		}
+	}
+}
+
+// TestSubscribeTruncatedFloorReturnsTypedError is the regression test for
+// the silent-gap bug: Subscribe with a floor older than the ring used to
+// start at the ring head, silently skipping the evicted events. A replica
+// must instead receive ErrSeqTruncated so it knows to fall back to WAL
+// segment shipping (or a snapshot bootstrap).
+func TestSubscribeTruncatedFloorReturnsTypedError(t *testing.T) {
+	l := NewLog(&Options{Ring: 8})
+	for s := uint64(1); s <= 20; s++ {
+		l.Append([]Event{ev(s)})
+	}
+	// Ring of 8 retains seqs 13..20; the newest evicted seq is 12.
+	if st := l.Stats(); st.TruncSeq != 12 {
+		t.Fatalf("TruncSeq = %d, want 12", st.TruncSeq)
+	}
+	for _, from := range []uint64{0, 5, 11} {
+		if _, err := l.Subscribe("replica", from, Block); !errors.Is(err, ErrSeqTruncated) {
+			t.Fatalf("Subscribe(from=%d) err = %v, want ErrSeqTruncated", from, err)
+		}
+	}
+	// The oldest gapless floor itself (and anything newer) still works.
+	sub, err := l.Subscribe("replica", 12, Block)
+	if err != nil {
+		t.Fatalf("Subscribe(from=12): %v", err)
+	}
+	batch := <-sub.Events()
+	if len(batch) == 0 || batch[0].Seq != 13 {
+		t.Fatalf("catch-up from 12 starts at %v, want seq 13", batch)
+	}
+	sub.Cancel()
+
+	// A log that tailed from a recovered store (StartSeq > 0) refuses
+	// floors below its start even before anything is evicted: those events
+	// predate the log and were never retained.
+	l2 := NewLog(&Options{Ring: 64, StartSeq: 100})
+	if _, err := l2.Subscribe("replica", 50, Block); !errors.Is(err, ErrSeqTruncated) {
+		t.Fatalf("StartSeq floor err = %v, want ErrSeqTruncated", err)
+	}
+	if _, err := l2.Subscribe("replica", 100, Block); err != nil {
+		t.Fatalf("Subscribe at StartSeq: %v", err)
+	}
+}
+
+// TestSequencerAdvanceTo covers the snapshot-bootstrap jump: the watermark
+// moves forward without waiting for (or skipping) the covered range, and
+// pending events beyond the new watermark flush once contiguous.
+func TestSequencerAdvanceTo(t *testing.T) {
+	l := NewLog(&Options{Ring: 64})
+	q := NewSequencer(l, 0)
+	var mu sync.Mutex
+	var got []Event
+	done := make(chan struct{})
+	ch, _ := l.SubscribeTail("s", Block).Flatten(16)
+	go drainAll(ch, &got, &mu, done)
+
+	q.Publish(ev(1001)) // held: sequencer expects 1
+	q.AdvanceTo(1001)   // snapshot covered 1..1000
+	q.Publish(ev(1002))
+	q.AdvanceTo(500) // backwards advance is a no-op
+	q.Publish(ev(1003))
+	l.Close()
+	<-done
+	if len(got) != 3 || got[0].Seq != 1001 || got[2].Seq != 1003 {
+		t.Fatalf("got %v, want seqs 1001..1003", got)
+	}
+	if st := q.Stats(); st.NextSeq != 1004 || st.Held != 0 {
+		t.Fatalf("stats = %+v, want next 1004, held 0", st)
 	}
 }
 

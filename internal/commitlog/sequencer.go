@@ -59,6 +59,114 @@ func (q *Sequencer) Publish(ev Event) {
 	q.flushAndUnlock()
 }
 
+// PublishAll resolves a group of committed events with one lock
+// acquisition — the WAL committer's entry point, called once per commit
+// group instead of once per record. Events may arrive in any order
+// (payloads sit in enqueue order, which races across shards); in-order
+// runs are accumulated and appended to the log in single calls, so the
+// common case pays one mutex round-trip and one fan-out append per
+// group rather than per event.
+func (q *Sequencer) PublishAll(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	run := q.buf[:0]
+	for i := range evs {
+		ev := evs[i]
+		if ev.Seq < q.next {
+			continue // duplicate below the watermark
+		}
+		if ev.Seq == q.next && len(q.pending) == 0 {
+			run = append(run, ev)
+			q.next++
+			continue
+		}
+		// Out of order: keep the appended stream ordered by flushing the
+		// run accumulated so far before buffering this event.
+		if len(run) > 0 {
+			q.log.Append(run)
+			run = run[:0]
+		}
+		e := ev
+		q.pending[ev.Seq] = &e
+		for {
+			p, ok := q.pending[q.next]
+			if !ok {
+				break
+			}
+			delete(q.pending, q.next)
+			q.next++
+			if p != nil {
+				run = append(run, *p)
+			}
+		}
+	}
+	if held := int64(len(q.pending)); held > q.statMaxHeld.Load() {
+		q.statMaxHeld.Store(held)
+	}
+	q.statNext.Store(q.next)
+	q.statHeld.Store(int64(len(q.pending)))
+	if len(run) > 0 {
+		q.log.Append(run)
+	}
+	q.buf = run[:0]
+	q.mu.Unlock()
+}
+
+// PublishBatch resolves an ascending-Seq batch of events as committed
+// with one lock acquisition and one Log.Append — the replica apply
+// path's entry point, where a single applier owns the whole sequence
+// domain. Sequence numbers absent from the batch but below its last
+// event are implicitly resolved as skipped (the primary never published
+// them); that is only sound when no other publisher can still deliver
+// them, which is exactly the single-applier contract. With events
+// pending from another publisher it falls back to per-event Publish.
+func (q *Sequencer) PublishBatch(evs []Event) {
+	for len(evs) > 0 && evs[0].Seq < q.statNext.Load() {
+		evs = evs[1:] // duplicate re-delivery
+	}
+	if len(evs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if len(q.pending) == 0 && evs[0].Seq >= q.next {
+		q.next = evs[len(evs)-1].Seq + 1
+		q.statNext.Store(q.next)
+		q.log.Append(evs)
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	for i := range evs {
+		q.Publish(evs[i])
+	}
+}
+
+// AdvanceTo moves the sequencer's expectation forward so the next event
+// carries Seq next. It is the snapshot-bootstrap entry point for a
+// replica: after importing a snapshot with floor F, the replicated stream
+// resumes at F+1, and the millions of sequence numbers the snapshot
+// already covers must not be waited for (or skipped one by one). Pending
+// events below the new watermark are discarded — callers advance only
+// over history they have applied through another channel, with no
+// in-flight publishes below the target (the import path is quiescent).
+func (q *Sequencer) AdvanceTo(next uint64) {
+	q.mu.Lock()
+	if next <= q.next {
+		q.mu.Unlock()
+		return
+	}
+	for seq := range q.pending {
+		if seq < next {
+			delete(q.pending, seq)
+		}
+	}
+	q.next = next
+	// Pending events at/above the watermark may now be contiguous.
+	q.flushAndUnlock()
+}
+
 // Skip resolves seq as never-committed (its WAL append failed), releasing
 // the events queued behind it.
 func (q *Sequencer) Skip(seq uint64) {

@@ -43,7 +43,8 @@ type entry struct {
 	expiresAt time.Time
 }
 
-// Store is an in-memory Redis-like store.
+// Store is an in-memory Redis-like store, optionally backed by a
+// snapshot file (see OpenPersistent in persist.go).
 type Store struct {
 	mu      sync.Mutex
 	data    map[string]*entry
@@ -52,6 +53,9 @@ type Store struct {
 	nextID  int
 	closed  bool
 	clock   func() time.Time
+	// dir is the persistence directory; empty for purely in-memory
+	// stores.
+	dir string
 }
 
 // New creates an empty store.
@@ -71,12 +75,17 @@ func NewWithClock(clock func() time.Time) *Store {
 	return s
 }
 
-// Close shuts down the store and closes all subscriptions.
+// Close shuts down the store and closes all subscriptions. Persistent
+// stores checkpoint their state first (best effort; use Save for an
+// error-checked checkpoint).
 func (s *Store) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
+	}
+	if s.dir != "" {
+		_ = s.saveLocked()
 	}
 	s.closed = true
 	for _, chans := range s.subs {

@@ -1,0 +1,236 @@
+package kvstore
+
+// Persistence for the Redis stand-in, reusing the WAL's CRC framing and
+// atomic-rename snapshot discipline (ROADMAP: tracked expirations must
+// survive restart — Quaestor keeps its cache-expiration bookkeeping in
+// this store, and losing it on restart would blind the EBF to every
+// entry still cached downstream).
+//
+// Format: a single snapshot file <dir>/kvstore.db of CRC-framed JSON
+// payloads — one meta frame, one frame per live entry (with its absolute
+// expiration time, so remaining TTLs survive), and an end frame whose
+// entry count guards against truncation. Save writes to a temp file,
+// fsyncs and atomically renames, so a crash mid-save leaves the previous
+// snapshot intact.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"quaestor/internal/wal"
+)
+
+// SnapshotName is the persistent store's snapshot file inside its dir.
+const SnapshotName = "kvstore.db"
+
+// persistFrame is the on-disk shape of every frame.
+type persistFrame struct {
+	Kind string `json:"kind"` // "meta", "entry" or "end"
+	// Meta fields.
+	SavedAt int64 `json:"savedAt,omitempty"` // Unix nanoseconds
+	// Entry fields.
+	Key     string             `json:"key,omitempty"`
+	Type    string             `json:"type,omitempty"`
+	Str     string             `json:"str,omitempty"`
+	Counter int64              `json:"counter,omitempty"`
+	Hash    map[string]string  `json:"hash,omitempty"`
+	List    []string           `json:"list,omitempty"`
+	ZSet    map[string]float64 `json:"zset,omitempty"`
+	// ExpiresAt is the absolute expiration in Unix nanoseconds (0 =
+	// persistent key): what makes tracked expirations survive restart.
+	ExpiresAt int64 `json:"expiresAt,omitempty"`
+	// End fields.
+	Entries int `json:"entries,omitempty"`
+}
+
+var kindNames = map[valueKind]string{
+	kindString:  "string",
+	kindCounter: "counter",
+	kindHash:    "hash",
+	kindList:    "list",
+	kindZSet:    "zset",
+}
+
+var kindsByName = func() map[string]valueKind {
+	m := make(map[string]valueKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// OpenPersistent opens (or creates) a store backed by dir: the previous
+// snapshot is loaded — entries whose expiration already passed are
+// dropped on first access, exactly as if the store had never restarted —
+// and Close writes the state back. Call Save for explicit checkpoints.
+func OpenPersistent(dir string) (*Store, error) {
+	return OpenPersistentWithClock(dir, time.Now)
+}
+
+// OpenPersistentWithClock is OpenPersistent with an injected clock (for
+// simulation and TTL round-trip tests).
+func OpenPersistentWithClock(dir string, clock func() time.Time) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := NewWithClock(clock)
+	s.dir = dir
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load reads the snapshot file, tolerating a missing one (fresh store).
+func (s *Store) load() error {
+	path := filepath.Join(s.dir, SnapshotName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fr := wal.NewFrameReader(bufio.NewReaderSize(f, 1<<16))
+	entries, sawMeta, sawEnd := 0, false, false
+	for !sawEnd {
+		payload, err := fr.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("kvstore: reading %s: %w", path, err)
+		}
+		var pf persistFrame
+		if err := json.Unmarshal(payload, &pf); err != nil {
+			return fmt.Errorf("kvstore: reading %s: %w", path, err)
+		}
+		switch pf.Kind {
+		case "meta":
+			sawMeta = true
+		case "entry":
+			entries++
+			kind, ok := kindsByName[pf.Type]
+			if !ok {
+				return fmt.Errorf("kvstore: %s: unknown entry type %q", path, pf.Type)
+			}
+			e := &entry{kind: kind, str: pf.Str, counter: pf.Counter, hash: pf.Hash, list: pf.List, zset: pf.ZSet}
+			// An entry emptied before the save round-trips as a nil map
+			// (omitempty): rebuild the structure invariant or the next
+			// HSet/ZAdd would write to a nil map and panic.
+			if kind == kindHash && e.hash == nil {
+				e.hash = map[string]string{}
+			}
+			if kind == kindZSet && e.zset == nil {
+				e.zset = map[string]float64{}
+			}
+			if pf.ExpiresAt != 0 {
+				e.expiresAt = time.Unix(0, pf.ExpiresAt)
+			}
+			s.data[pf.Key] = e
+		case "end":
+			sawEnd = true
+			if pf.Entries != entries {
+				return fmt.Errorf("kvstore: %s: end frame expects %d entries, read %d", path, pf.Entries, entries)
+			}
+		default:
+			return fmt.Errorf("kvstore: %s: unknown frame kind %q", path, pf.Kind)
+		}
+	}
+	if !sawMeta || !sawEnd {
+		return fmt.Errorf("kvstore: %s: incomplete snapshot (meta=%v end=%v)", path, sawMeta, sawEnd)
+	}
+	return nil
+}
+
+// Save checkpoints all live entries to the snapshot file (temp file,
+// fsync, atomic rename). ErrClosed after Close; a no-op error on stores
+// opened without a directory.
+func (s *Store) Save() error {
+	if s.dir == "" {
+		return fmt.Errorf("kvstore: store is not persistent (use OpenPersistent)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.saveLocked()
+}
+
+func (s *Store) saveLocked() error {
+	tmp := filepath.Join(s.dir, SnapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var buf []byte
+	writeFrame := func(pf *persistFrame) error {
+		payload, err := json.Marshal(pf)
+		if err != nil {
+			return err
+		}
+		buf = wal.AppendFrame(buf[:0], payload)
+		_, err = bw.Write(buf)
+		return err
+	}
+	if err := writeFrame(&persistFrame{Kind: "meta", SavedAt: s.clock().UnixNano()}); err != nil {
+		return abort(err)
+	}
+	entries := 0
+	for key := range s.data {
+		e := s.live(key) // sweeps expired keys instead of persisting them
+		if e == nil {
+			continue
+		}
+		entries++
+		pf := &persistFrame{
+			Kind: "entry", Key: key, Type: kindNames[e.kind],
+			Str: e.str, Counter: e.counter, Hash: e.hash, List: e.list, ZSet: e.zset,
+		}
+		if !e.expiresAt.IsZero() {
+			pf.ExpiresAt = e.expiresAt.UnixNano()
+		}
+		if err := writeFrame(pf); err != nil {
+			return abort(err)
+		}
+	}
+	if err := writeFrame(&persistFrame{Kind: "end", Entries: entries}); err != nil {
+		return abort(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

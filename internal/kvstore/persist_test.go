@@ -1,0 +1,184 @@
+package kvstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPersistRestartRoundTrip is the restart round-trip: every structure
+// — strings with TTLs, counters, hashes, lists, sorted sets (the
+// expiration-tracking structure) — survives Close + OpenPersistent, and
+// tracked expirations keep their absolute deadlines: a key with 10
+// minutes left before restart still expires 10 minutes after the
+// original Set, not 10 minutes after the restart.
+func TestPersistRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+
+	s, err := OpenPersistentWithClock(dir, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set("plain", "v1", 0)
+	s.Set("short", "gone-soon", 5*time.Minute)
+	s.Set("long", "still-here", time.Hour)
+	if _, err := s.IncrBy("hits", 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HSet("h", "f1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HSet("h", "f2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LPush("queue", "x", "y", "z"); err != nil {
+		t.Fatal(err)
+	}
+	// The expiration-tracking zset: member → expiration unix seconds.
+	if err := s.ZAdd("expirations", "posts/1", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ZAdd("expirations", "posts/2", 200); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Restart 10 minutes later: "short" (5m TTL) must be gone, "long"
+	// must still carry its original deadline.
+	now = now.Add(10 * time.Minute)
+	s2, err := OpenPersistentWithClock(dir, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	if v, ok := s2.Get("plain"); !ok || v != "v1" {
+		t.Errorf("plain = %q, %v", v, ok)
+	}
+	if _, ok := s2.Get("short"); ok {
+		t.Error("short survived past its TTL across restart")
+	}
+	if v, ok := s2.Get("long"); !ok || v != "still-here" {
+		t.Errorf("long = %q, %v (TTL lost across restart)", v, ok)
+	}
+	if n, err := s2.GetCounter("hits"); err != nil || n != 42 {
+		t.Errorf("hits = %d, %v", n, err)
+	}
+	if all, err := s2.HGetAll("h"); err != nil || len(all) != 2 || all["f1"] != "a" || all["f2"] != "b" {
+		t.Errorf("hash = %v, %v", all, err)
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		got, ok, err := s2.RPop("queue")
+		if err != nil || !ok || got != want {
+			t.Errorf("queue pop = %q, %v, %v (want %q)", got, ok, err, want)
+		}
+	}
+	members, err := s2.ZRangeByScore("expirations", 0, 150)
+	if err != nil || len(members) != 1 || members[0] != "posts/1" {
+		t.Errorf("tracked expirations = %v, %v", members, err)
+	}
+
+	// The surviving "long" key expires at its original absolute
+	// deadline: 1h after the first Set, i.e. 50 minutes from now.
+	now = now.Add(51 * time.Minute)
+	if _, ok := s2.Get("long"); ok {
+		t.Error("long did not expire at its pre-restart deadline")
+	}
+}
+
+// TestPersistEmptiedStructuresUsableAfterRestart: a hash or zset whose
+// members were all removed before the save must come back writable —
+// the empty map round-trips as JSON null, and the reloaded entry must
+// not panic on the next HSet/ZAdd.
+func TestPersistEmptiedStructuresUsableAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HSet("h", "f", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HDel("h", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ZAdd("z", "m", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ZRem("z", "m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.HSet("h", "f2", "v2"); err != nil {
+		t.Fatalf("HSet on reloaded emptied hash: %v", err)
+	}
+	if err := s2.ZAdd("z", "m2", 2); err != nil {
+		t.Fatalf("ZAdd on reloaded emptied zset: %v", err)
+	}
+}
+
+// TestPersistExplicitSaveSurvivesCrash: a Save checkpoint is what a
+// crash falls back to — state mutated after the last Save is lost, the
+// checkpoint itself is intact (no torn file thanks to the atomic
+// rename).
+func TestPersistExplicitSaveSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set("a", "1", 0)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+	s.Set("b", "2", 0) // never checkpointed
+	// Simulated crash: no Close. Reopen from disk.
+	s2, err := OpenPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("a"); !ok || v != "1" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	if _, ok := s2.Get("b"); ok {
+		t.Error("b survived without a checkpoint")
+	}
+}
+
+// TestPersistTruncatedSnapshotRejected: a torn snapshot (crash mid-save
+// would leave the previous file, but corruption must not be read as a
+// shorter valid store) fails to load rather than silently losing tracked
+// expirations.
+func TestPersistTruncatedSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenPersistent(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Set(string(rune('a'+i%26))+"key", "v", 0)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, SnapshotName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPersistent(dir); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"quaestor/internal/document"
 	"quaestor/internal/query"
+	"quaestor/internal/replication"
 	"quaestor/internal/store"
 	"quaestor/internal/ttl"
 )
@@ -29,10 +30,15 @@ import (
 //	GET    /v1/db/{table}?q=…&sort=…&limit=…&offset=… — query (cacheable)
 //	POST   /v1/indexes/{table}         — create secondary index ({"path": …})
 //	GET    /v1/indexes/{table}         — list indexed field paths
-//	GET    /v1/stats                   — server statistics (plan counts, commit pipeline, WAL/recovery)
+//	GET    /v1/stats                   — server statistics (plan counts, commit pipeline, WAL/recovery, replication)
 //	POST   /v1/admin/snapshot          — snapshot the durable store, truncate WAL
 //	POST   /v1/transaction             — BOCC transaction commit
 //	GET    /v1/subscribe?table=…&q=…   — SSE query change stream
+//	GET    /v1/replication/snapshot    — snapshot stream (replica bootstrap)
+//	GET    /v1/replication/stream      — ordered replication frames (from=seq)
+//	GET    /v1/replication/wal         — sealed WAL segment shipping
+//	GET    /v1/replication/status      — role, lag, staleness bound
+//	POST   /v1/replication/promote     — promote a replica to writable primary
 //
 // Cacheable responses carry Cache-Control, ETag and X-Quaestor-Key headers;
 // conditional requests with If-None-Match receive 304.
@@ -48,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/files/", s.handleFiles)
 	mux.HandleFunc("/v1/schema/", s.handleSchema)
 	mux.HandleFunc("/v1/admin/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/replication/", s.handleReplication)
 	return s.withAuth(mux)
 }
 
@@ -80,6 +87,9 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusPreconditionFailed
 	case errors.Is(err, store.ErrBadUpdateSpec), errors.Is(err, store.ErrEmptyID):
 		status = http.StatusBadRequest
+	case errors.Is(err, store.ErrReadOnly):
+		// An unpromoted replica: writes belong on the primary.
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": msg})
 }
@@ -196,12 +206,15 @@ type PipelineSection struct {
 }
 
 // StatsResponse is the JSON body of GET /v1/stats: the activity counters,
-// the commit-pipeline section and, on durable stores, the
-// WAL/snapshot/recovery section.
+// the commit-pipeline section (whose per-subscriber entries include each
+// attached replica's lag as "replica:<name>"), on durable stores the
+// WAL/snapshot/recovery section, and on replicas the replication
+// status.
 type StatsResponse struct {
 	Stats
-	Pipeline   PipelineSection        `json:"pipeline"`
-	Durability *store.DurabilityStats `json:"durability,omitempty"`
+	Pipeline    PipelineSection        `json:"pipeline"`
+	Durability  *store.DurabilityStats `json:"durability,omitempty"`
+	Replication *replication.Status    `json:"replication,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +228,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if ds, ok := s.db.DurabilityStats(); ok {
 		resp.Durability = &ds
+	}
+	if repl := s.Replica(); repl != nil {
+		st := repl.Status()
+		resp.Replication = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -273,6 +290,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request, table, id 
 		w.Header().Set("Cache-Control", cacheControlValue(browserTTL, cdnTTL))
 		w.Header().Set("ETag", res.ETag)
 		w.Header().Set("X-Quaestor-Key", RecordKey(table, id))
+		s.addReplicaHeaders(w)
 		if r.Header.Get("If-None-Match") == res.ETag {
 			s.revalidations.Add(1)
 			w.WriteHeader(http.StatusNotModified)
@@ -400,6 +418,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table strin
 	w.Header().Set("ETag", res.ETag)
 	w.Header().Set("X-Quaestor-Key", q.Key())
 	w.Header().Set("X-Quaestor-Rep", res.Representation.String())
+	s.addReplicaHeaders(w)
 	if r.Header.Get("If-None-Match") == res.ETag {
 		s.revalidations.Add(1)
 		w.WriteHeader(http.StatusNotModified)

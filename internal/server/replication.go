@@ -1,0 +1,278 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"quaestor/internal/commitlog"
+	"quaestor/internal/replication"
+	"quaestor/internal/store"
+	"quaestor/internal/wal"
+)
+
+// Replication endpoints. Every server can act as a replication primary
+// (any node's pipeline and snapshots are exportable — chained replicas
+// included); a server additionally holding a replication.Replica serves
+// the replica-side status and promotion surface:
+//
+//	GET  /v1/replication/snapshot — snapshot stream (replica bootstrap)
+//	GET  /v1/replication/stream   — ordered record frames from SubscribeFrom
+//	GET  /v1/replication/wal      — sealed WAL segments (ring-truncated catch-up)
+//	GET  /v1/replication/status   — replica state, lag, staleness bound
+//	POST /v1/replication/promote  — stop following, accept writes
+
+// replStreamHeartbeat is how often an idle stream sends a progress
+// frame; it bounds both dead-connection detection and the replica's
+// reported staleness resolution.
+const replStreamHeartbeat = 500 * time.Millisecond
+
+// replWriteTimeout bounds every write on a replication transfer. It is
+// what protects the primary from a stalled-but-open replica connection:
+// the stream feeds a Block-policy subscription, so a consumer that
+// stops reading would otherwise fill the fan-out ring and wedge the
+// entire write path; a WAL export additionally holds the snapshot lock
+// for the duration of the transfer. A frozen peer errors out within
+// this bound and the handler's cleanup (Cancel / Close) releases
+// whatever it held.
+const replWriteTimeout = 10 * time.Second
+
+// deadlineWriter arms a fresh write deadline before every Write, so a
+// long transfer only fails when the peer actually stalls, not for being
+// large.
+type deadlineWriter struct {
+	w  io.Writer
+	rc *http.ResponseController
+}
+
+func (d *deadlineWriter) Write(p []byte) (int, error) {
+	// Ignore SetWriteDeadline errors (e.g. an http.ResponseWriter
+	// wrapper without the capability): the write itself still proceeds,
+	// only unbounded.
+	_ = d.rc.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+	return d.w.Write(p)
+}
+
+// AttachReplica hands the server the replica it fronts, enabling the
+// status/promote endpoints, the replication section of /v1/stats, and
+// staleness headers on reads.
+func (s *Server) AttachReplica(r *replication.Replica) {
+	s.mu.Lock()
+	s.replica = r
+	s.mu.Unlock()
+}
+
+// Replica returns the attached replica, or nil on a primary.
+func (s *Server) Replica() *replication.Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replica
+}
+
+// handleReplication routes /v1/replication/*.
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/replication/snapshot":
+		s.handleReplSnapshot(w, r)
+	case "/v1/replication/stream":
+		s.handleReplStream(w, r)
+	case "/v1/replication/wal":
+		s.handleReplWAL(w, r)
+	case "/v1/replication/status":
+		s.handleReplStatus(w, r)
+	case "/v1/replication/promote":
+		s.handleReplPromote(w, r)
+	default:
+		writeError(w, &httpError{http.StatusNotFound, "unknown replication endpoint"})
+	}
+}
+
+// handleReplSnapshot streams a point-in-time snapshot for replica
+// bootstrap; the meta frame carries the sequence floor the replica then
+// streams from.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set(replication.HeaderLastSeq, strconv.FormatUint(s.db.LastSeq(), 10))
+	// Errors past this point cut the stream; the replica detects the
+	// truncation through the missing end frame.
+	dw := &deadlineWriter{w: w, rc: http.NewResponseController(w)}
+	if _, _, err := s.db.ExportSnapshot(dw); err != nil {
+		return
+	}
+}
+
+// handleReplStream serves the live ordered feed: a SubscribeFrom
+// subscription rendered as JSON frames, heartbeating the primary's
+// LastSeq while idle. A floor older than the fan-out ring answers 410
+// Gone — the replica must catch up through /v1/replication/wal (or a
+// fresh snapshot) first.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, badRequest("invalid from sequence %q", r.URL.Query().Get("from")))
+		return
+	}
+	name := r.URL.Query().Get("id")
+	if name == "" {
+		name = r.RemoteAddr
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &httpError{http.StatusInternalServerError, "streaming unsupported"})
+		return
+	}
+	sub, err := s.db.SubscribeFrom("replica:"+name, from)
+	if err != nil {
+		if errors.Is(err, commitlog.ErrSeqTruncated) {
+			writeJSON(w, http.StatusGone, map[string]string{"error": err.Error()})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	// The per-write deadline is load-bearing: this stream feeds a
+	// Block-policy subscription, so without it a stalled-but-open peer
+	// would fill the fan-out ring and wedge the primary's write path.
+	enc := json.NewEncoder(&deadlineWriter{w: w, rc: http.NewResponseController(w)})
+	// buf is reused across batches (Encode serializes before the next
+	// conversion): this pump is the hot path feeding an attached
+	// replica, one conversion per committed batch.
+	buf := make([]wal.Record, 0, 256)
+	send := func(f replication.Frame) bool {
+		f.LastSeq = s.db.LastSeq()
+		f.At = time.Now().UnixNano()
+		if err := enc.Encode(f); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send(replication.Frame{}) { // greeting heartbeat: position check
+		return
+	}
+	heartbeat := time.NewTicker(replStreamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case batch, ok := <-sub.Events():
+			if !ok {
+				return // store closed
+			}
+			buf = replication.AppendRecords(buf[:0], batch)
+			if !send(replication.Frame{Recs: buf}) {
+				return
+			}
+		case <-heartbeat.C:
+			if !send(replication.Frame{}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleReplWAL ships the primary's sealed WAL segments: the catch-up
+// channel for replicas whose position fell out of the fan-out ring but
+// is still covered by the log. The snapshot floor rides in a header so
+// the replica can detect an uncoverable gap before applying anything.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil {
+		writeError(w, badRequest("invalid after sequence %q", r.URL.Query().Get("after")))
+		return
+	}
+	exp, err := s.db.BeginWALExport(after)
+	if err != nil {
+		if errors.Is(err, store.ErrNotDurable) {
+			writeError(w, &httpError{http.StatusConflict, "primary is in-memory; bootstrap from a snapshot instead"})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	defer exp.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set(replication.HeaderSnapshotSeq, strconv.FormatUint(exp.SnapshotSeq, 10))
+	w.Header().Set(replication.HeaderLastSeq, strconv.FormatUint(exp.LastSeq, 10))
+	// The export holds the store's snapshot lock; the per-write deadline
+	// guarantees a stalled client cannot hold it (and block snapshots)
+	// for more than replWriteTimeout.
+	dw := &deadlineWriter{w: w, rc: http.NewResponseController(w)}
+	_, _ = exp.WriteTo(dw) // a cut transfer surfaces as a torn frame replica-side
+}
+
+// ReplicationRole is the /v1/replication/status body for a primary (a
+// replica answers with its full replication.Status instead).
+type ReplicationRole struct {
+	Role    string `json:"role"`
+	LastSeq uint64 `json:"lastSeq"`
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	if repl := s.Replica(); repl != nil {
+		writeJSON(w, http.StatusOK, repl.Status())
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplicationRole{Role: "primary", LastSeq: s.db.LastSeq()})
+}
+
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
+		return
+	}
+	repl := s.Replica()
+	if repl == nil {
+		writeError(w, &httpError{http.StatusConflict, "not a replica"})
+		return
+	}
+	repl.Promote()
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "lastSeq": s.db.LastSeq()})
+}
+
+// addReplicaHeaders stamps read responses with the staleness bound, so
+// clients of a replica know how far behind the primary their read may
+// be (the paper's Δ-atomicity reporting, extended to replica reads).
+func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
+	repl := s.Replica()
+	if repl == nil {
+		return
+	}
+	st := repl.Status()
+	w.Header().Set("X-Quaestor-Replica", string(st.State))
+	if st.StalenessMs >= 0 {
+		w.Header().Set("X-Quaestor-Staleness-Ms", fmt.Sprintf("%.0f", st.StalenessMs))
+	}
+	if st.LagSeq > 0 {
+		w.Header().Set("X-Quaestor-Replica-Lag", strconv.FormatUint(st.LagSeq, 10))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"quaestor/internal/invalidb"
 	"quaestor/internal/metrics"
 	"quaestor/internal/query"
+	"quaestor/internal/replication"
 	"quaestor/internal/store"
 	"quaestor/internal/ttl"
 )
@@ -166,6 +167,10 @@ type Server struct {
 
 	schemas *schemaRegistry
 	auth    authorizer
+
+	// replica is non-nil when this server fronts a log-shipping replica
+	// (see AttachReplica); guarded by mu.
+	replica *replication.Replica
 
 	detachStore func()
 	notifyDone  chan struct{}

@@ -184,24 +184,29 @@ func (s *Store) recover() error {
 	// The pipeline tails from the recovered sequence; the WAL committer's
 	// post-commit hook feeds it, so events hit the change stream only
 	// after their record is written (never for one the log rejected) and
-	// the sequencer restores strict global Seq order across shards.
+	// the sequencer restores strict global Seq order across shards. The
+	// hook publishes each group with one sequencer call; its event
+	// buffer is committer-goroutine-owned scratch (Append copies events
+	// into the ring before returning).
 	s.openPipeline(lastSeq)
+	var hookEvents []ChangeEvent
 	l, err := wal.Open(walDir, &wal.Options{
 		Fsync:         s.opts.Durability.Fsync,
 		FsyncInterval: s.opts.Durability.FsyncInterval,
 		SegmentBytes:  s.opts.Durability.SegmentBytes,
 		OnCommit: func(payloads []any, err error) {
-			for _, p := range payloads {
-				ev := p.(*ChangeEvent)
-				if err != nil {
-					s.seqr.Skip(ev.Seq)
-				} else {
-					s.seqr.Publish(*ev)
+			if err != nil {
+				for _, p := range payloads {
+					s.seqr.Skip(p.(*ChangeEvent).Seq)
 				}
+				return
 			}
-			if err == nil {
-				s.maybeAutoSnapshot()
+			hookEvents = hookEvents[:0]
+			for _, p := range payloads {
+				hookEvents = append(hookEvents, *p.(*ChangeEvent))
 			}
+			s.seqr.PublishAll(hookEvents)
+			s.maybeAutoSnapshot()
 		},
 	})
 	if err != nil {
@@ -291,24 +296,9 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 		return SnapshotInfo{}, fmt.Errorf("store: rotating wal for snapshot: %w", err)
 	}
 
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return SnapshotInfo{}, ErrClosed
-	}
-	tables := make([]*table, 0, len(s.tables))
-	for _, t := range s.tables {
-		tables = append(tables, t)
-	}
-	s.mu.RUnlock()
-	sort.Slice(tables, func(i, j int) bool { return tables[i].name < tables[j].name })
-
-	meta := wal.SnapshotMeta{Seq: floor, CreatedAt: s.opts.Clock()}
-	for _, t := range tables {
-		t.idxMu.RLock()
-		paths := append([]string(nil), t.indexPaths...)
-		t.idxMu.RUnlock()
-		meta.Tables = append(meta.Tables, wal.TableMeta{Name: t.name, Indexes: paths})
+	tables, meta, err := s.snapshotTablesMeta(floor)
+	if err != nil {
+		return SnapshotInfo{}, err
 	}
 
 	w, err := wal.NewSnapshotWriter(s.opts.DataDir)

@@ -151,6 +151,14 @@ type Store struct {
 	// Auto-snapshot machinery (Options.AutoSnapshotBytes).
 	autoSnapBusy atomic.Bool
 	autoSnaps    atomic.Uint64
+
+	// readOnly marks an unpromoted replica: doc writes fail with
+	// ErrReadOnly and state changes only through the replication apply
+	// path (see replication.go).
+	readOnly atomic.Bool
+	// applyScratch is ApplyReplicated's reusable event buffer (single
+	// applier by contract).
+	applyScratch []commitlog.Event
 }
 
 type table struct {
@@ -321,6 +329,9 @@ func (s *Store) Insert(tableName string, doc *document.Document) error {
 	if doc.ID == "" {
 		return ErrEmptyID
 	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -368,6 +379,9 @@ func (s *Store) Put(tableName string, doc *document.Document) error {
 	if doc.ID == "" {
 		return ErrEmptyID
 	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -414,6 +428,9 @@ type UpdateSpec struct {
 
 // Update applies a partial update and returns the after-image.
 func (s *Store) Update(tableName, id string, spec UpdateSpec) (*document.Document, error) {
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
@@ -521,6 +538,9 @@ func applySpec(doc *document.Document, spec UpdateSpec) error {
 
 // Delete removes a document, returning ErrNotFound if absent.
 func (s *Store) Delete(tableName, id string) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -844,8 +864,11 @@ func (s *Store) SubscribeNamed(name string) (<-chan ChangeEvent, func()) {
 // fan-out ring holds the last ChangeBuffer events), then the live tail,
 // all as contiguous Seq-ordered batches. This is the attach point for
 // log-shipping replication: a replica bootstraps from a snapshot, then
-// subscribes from the snapshot's sequence floor.
-func (s *Store) SubscribeFrom(name string, fromSeq uint64) *commitlog.Subscription {
+// subscribes from the snapshot's sequence floor. When fromSeq predates
+// the ring's retention SubscribeFrom fails with commitlog.ErrSeqTruncated
+// and the replica must catch up through shipped WAL segments (or a fresh
+// snapshot) first.
+func (s *Store) SubscribeFrom(name string, fromSeq uint64) (*commitlog.Subscription, error) {
 	return s.pipeline.Subscribe(name, fromSeq, commitlog.Block)
 }
 

@@ -77,11 +77,11 @@ const frameHeaderSize = 8
 // headers; no single document approaches this.
 const maxFrameSize = 256 << 20
 
-// Framing errors. errTorn marks a frame that is incomplete or fails its
+// Framing errors. ErrTorn marks a frame that is incomplete or fails its
 // checksum — expected at the tail of the last segment after a crash,
 // corruption anywhere else.
 var (
-	errTorn   = errors.New("wal: torn or corrupt frame")
+	ErrTorn   = errors.New("wal: torn or corrupt frame")
 	ErrClosed = errors.New("wal: log is closed")
 )
 
@@ -166,7 +166,7 @@ type frameReader struct {
 	validLen int64 // bytes consumed by fully-valid frames
 }
 
-// nextPayload reads one frame's payload. It returns errTorn for an
+// nextPayload reads one frame's payload. It returns ErrTorn for an
 // incomplete or corrupt frame and io.EOF at a clean end of stream.
 func (fr *frameReader) nextPayload() ([]byte, error) {
 	var hdr [frameHeaderSize]byte
@@ -174,25 +174,25 @@ func (fr *frameReader) nextPayload() ([]byte, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, errTorn // header cut mid-write
+		return nil, ErrTorn // header cut mid-write
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if n > maxFrameSize {
-		return nil, errTorn
+		return nil, ErrTorn
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
-		return nil, errTorn
+		return nil, ErrTorn
 	}
 	if crc32.Checksum(payload, castagnoli) != sum {
-		return nil, errTorn
+		return nil, ErrTorn
 	}
 	fr.validLen += int64(frameHeaderSize) + int64(n)
 	return payload, nil
 }
 
-// next decodes one record. It returns errTorn for an incomplete or
+// next decodes one record. It returns ErrTorn for an incomplete or
 // corrupt frame and io.EOF at a clean end of stream.
 func (fr *frameReader) next(rec *Record) error {
 	payload, err := fr.nextPayload()
@@ -201,7 +201,7 @@ func (fr *frameReader) next(rec *Record) error {
 	}
 	*rec = Record{}
 	if err := json.Unmarshal(payload, rec); err != nil {
-		return errTorn
+		return ErrTorn
 	}
 	return nil
 }

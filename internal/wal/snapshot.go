@@ -3,6 +3,7 @@ package wal
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -42,15 +43,14 @@ type snapFrame struct {
 	Docs  int                `json:"docs,omitempty"` // end frame: expected doc count
 }
 
-// SnapshotWriter streams a point-in-time snapshot to disk.
+// SnapshotWriter streams a point-in-time snapshot to disk: a
+// SnapshotStreamWriter over a temp file with an atomic-rename Commit.
 type SnapshotWriter struct {
+	*SnapshotStreamWriter
 	dataDir string
 	tmp     string
 	f       *os.File
 	bw      *bufio.Writer
-	buf     []byte
-	docs    int
-	bytes   int64
 }
 
 // NewSnapshotWriter starts a snapshot in dataDir. Call Meta once, then
@@ -64,41 +64,14 @@ func NewSnapshotWriter(dataDir string) (*SnapshotWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: creating snapshot temp: %w", err)
 	}
-	return &SnapshotWriter{dataDir: dataDir, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+	bw := bufio.NewWriterSize(f, 1<<16)
+	return &SnapshotWriter{SnapshotStreamWriter: NewSnapshotStreamWriter(bw), dataDir: dataDir, tmp: tmp, f: f, bw: bw}, nil
 }
-
-func (w *SnapshotWriter) writeFrame(fr *snapFrame) error {
-	payload, err := json.Marshal(fr)
-	if err != nil {
-		return fmt.Errorf("wal: encoding snapshot frame: %w", err)
-	}
-	w.buf = appendPayloadFrame(w.buf[:0], payload)
-	n, err := w.bw.Write(w.buf)
-	w.bytes += int64(n)
-	return err
-}
-
-// Meta writes the snapshot header.
-func (w *SnapshotWriter) Meta(m SnapshotMeta) error {
-	return w.writeFrame(&snapFrame{Kind: kindSnapMeta, Meta: &m})
-}
-
-// Doc writes one document of a table.
-func (w *SnapshotWriter) Doc(table string, doc *document.Document) error {
-	w.docs++
-	return w.writeFrame(&snapFrame{Kind: kindSnapDoc, Table: table, Doc: doc})
-}
-
-// Docs returns the number of documents written so far.
-func (w *SnapshotWriter) Docs() int { return w.docs }
-
-// Bytes returns the bytes written so far.
-func (w *SnapshotWriter) Bytes() int64 { return w.bytes }
 
 // Commit seals the snapshot (end frame + fsync) and atomically renames
 // it into place.
 func (w *SnapshotWriter) Commit() error {
-	if err := w.writeFrame(&snapFrame{Kind: kindSnapEnd, Docs: w.docs}); err != nil {
+	if err := w.End(); err != nil {
 		w.Abort()
 		return err
 	}
@@ -141,45 +114,57 @@ func LoadSnapshot(dataDir string, onMeta func(SnapshotMeta) error, onDoc func(ta
 		return false, err
 	}
 	defer f.Close()
-	fr := &frameReader{r: bufio.NewReaderSize(f, 1<<16)}
+	if err := ReadSnapshotStream(bufio.NewReaderSize(f, 1<<16), onMeta, onDoc); err != nil {
+		return true, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+	}
+	return true, nil
+}
+
+// ReadSnapshotStream decodes one snapshot frame sequence from r (the
+// format SnapshotStreamWriter produces): onMeta fires first with the
+// header, then onDoc per document. The end frame's doc count is
+// verified, so a truncated stream — a snapshot bootstrap cut by a
+// connection loss — is always detected.
+func ReadSnapshotStream(r io.Reader, onMeta func(SnapshotMeta) error, onDoc func(table string, doc *document.Document) error) error {
+	fr := &frameReader{r: r}
 	docs, sawMeta, sawEnd := 0, false, false
-	for {
+	for !sawEnd {
 		payload, err := fr.nextPayload()
 		if err != nil {
 			if err == io.EOF {
 				break
 			}
-			return true, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+			return err
 		}
 		var sf snapFrame
 		if err := json.Unmarshal(payload, &sf); err != nil {
-			return true, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+			return fmt.Errorf("decoding snapshot frame: %w", err)
 		}
 		switch sf.Kind {
 		case kindSnapMeta:
 			sawMeta = true
 			if err := onMeta(*sf.Meta); err != nil {
-				return true, err
+				return err
 			}
 		case kindSnapDoc:
 			if !sawMeta {
-				return true, fmt.Errorf("wal: snapshot %s: doc before meta", path)
+				return errors.New("snapshot: doc before meta")
 			}
 			docs++
 			if err := onDoc(sf.Table, sf.Doc); err != nil {
-				return true, err
+				return err
 			}
 		case kindSnapEnd:
 			sawEnd = true
 			if sf.Docs != docs {
-				return true, fmt.Errorf("wal: snapshot %s: end frame expects %d docs, read %d", path, sf.Docs, docs)
+				return fmt.Errorf("snapshot: end frame expects %d docs, read %d", sf.Docs, docs)
 			}
 		default:
-			return true, fmt.Errorf("wal: snapshot %s: unknown frame kind %q", path, sf.Kind)
+			return fmt.Errorf("snapshot: unknown frame kind %q", sf.Kind)
 		}
 	}
 	if !sawMeta || !sawEnd {
-		return true, fmt.Errorf("wal: snapshot %s: incomplete (meta=%v end=%v)", path, sawMeta, sawEnd)
+		return fmt.Errorf("snapshot: incomplete (meta=%v end=%v)", sawMeta, sawEnd)
 	}
-	return true, nil
+	return nil
 }

@@ -729,7 +729,7 @@ func scanSegment(path string, fn func(*Record) error) (validLen int64, torn bool
 					return fr.validLen, false, err
 				}
 			}
-		case errTorn:
+		case ErrTorn:
 			return fr.validLen, true, nil
 		default:
 			if err == io.EOF {
