@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -509,6 +510,78 @@ func BenchmarkReplicationApply(b *testing.B) {
 				}
 				done += n
 			}
+		})
+	}
+}
+
+// BenchmarkImportSnapshotSwap measures a replica re-bootstrap end to
+// end — shadow table build, secondary-index rebuild, atomic swap, and
+// the old-vs-imported diff feeding the synthetic event fan-out — per
+// document count. A quarter of the old documents vanish, three quarters
+// are re-versioned, and a quarter of the imported set is new, so the
+// diff exercises every branch. ns/op is one whole import of the larger
+// state.
+func BenchmarkImportSnapshotSwap(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			// Source state: d[n/4, n) written twice (re-versioned),
+			// d[n, 5n/4) new; d[0, n/4) absent (deleted inside the
+			// collapsed range relative to the target below).
+			src := store.MustOpen(nil)
+			defer src.Close()
+			if err := src.CreateTable("docs"); err != nil {
+				b.Fatal(err)
+			}
+			if err := src.CreateIndex("docs", "rank"); err != nil {
+				b.Fatal(err)
+			}
+			putDoc := func(s *store.Store, i int) {
+				if err := s.Put("docs", document.New(fmt.Sprintf("d%06d", i), map[string]any{"rank": int64(i)})); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for pass := 0; pass < 2; pass++ {
+				for i := n / 4; i < n; i++ {
+					putDoc(src, i)
+				}
+			}
+			for i := n; i < n+n/4; i++ {
+				putDoc(src, i)
+			}
+			var snapBuf bytes.Buffer
+			if _, _, err := src.ExportSnapshot(&snapBuf); err != nil {
+				b.Fatal(err)
+			}
+			snap := snapBuf.Bytes()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tgt := store.MustOpen(nil)
+				if err := tgt.CreateTable("docs"); err != nil {
+					b.Fatal(err)
+				}
+				if err := tgt.CreateIndex("docs", "rank"); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					putDoc(tgt, j)
+				}
+				b.StartTimer()
+				info, err := tgt.ImportSnapshot(bytes.NewReader(snap))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if info.SyntheticDeletes != n/4 || info.SyntheticPuts != n {
+					b.Fatalf("diff = %d deletes + %d puts, want %d + %d",
+						info.SyntheticDeletes, info.SyntheticPuts, n/4, n)
+				}
+				b.StopTimer()
+				tgt.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n), "docs/op")
 		})
 	}
 }

@@ -112,6 +112,30 @@ type Stats struct {
 	EBFRefreshes     uint64
 	NotModified      uint64 // 304 responses
 	MonotonicRetries uint64 // re-reads forced by monotonic-read tracking
+	// ReplicaResponses counts responses annotated with X-Quaestor-Replica
+	// (served by a replica rather than the primary); MaxStalenessMs is
+	// the largest X-Quaestor-Staleness-Ms bound observed among them — the
+	// session's worst-case replica lag, and the signal a future
+	// read-routing layer admission-bounds against.
+	ReplicaResponses uint64
+	MaxStalenessMs   float64
+}
+
+// ReplicaMeta is the replica annotation parsed off one response's
+// staleness headers. The zero value (Replica false) means the response
+// came from a primary.
+type ReplicaMeta struct {
+	// Replica reports whether the serving node identified itself as a
+	// replica; State is its lifecycle state (X-Quaestor-Replica).
+	Replica bool
+	State   string
+	// StalenessMs is the replica's reported staleness bound
+	// (X-Quaestor-Staleness-Ms); -1 when the replica has not yet bounded
+	// its staleness (e.g. still bootstrapping).
+	StalenessMs float64
+	// LagSeq is the replica's sequence lag behind its primary
+	// (X-Quaestor-Replica-Lag); 0 when caught up.
+	LagSeq uint64
 }
 
 // Client is one browser session against a Quaestor deployment.
@@ -127,6 +151,7 @@ type Client struct {
 	highest     map[string]int64              // monotonic read versions
 	forcedReval map[string]struct{}           // keys whose next read must revalidate
 	lastRead    time.Time                     // newest read timestamp (causal)
+	lastReplica ReplicaMeta                   // newest replica annotation observed
 	stats       Stats
 }
 
@@ -260,7 +285,51 @@ func (c *Client) do(method, path string, body []byte, revalidate bool) (*http.Re
 		c.stats.Revalidations++
 	}
 	c.mu.Unlock()
-	return c.http.Do(req)
+	resp, err := c.http.Do(req)
+	if err == nil {
+		c.observeReplicaHeaders(resp.Header)
+	}
+	return resp, err
+}
+
+// observeReplicaHeaders folds one response's staleness annotation into
+// the per-read metadata and the max-observed-staleness stat. Responses
+// without X-Quaestor-Replica (primary-served) are ignored — the last
+// replica annotation stays current, so LastReplicaMeta describes the
+// most recent replica-served exchange.
+func (c *Client) observeReplicaHeaders(h http.Header) {
+	state := h.Get("X-Quaestor-Replica")
+	if state == "" {
+		return
+	}
+	meta := ReplicaMeta{Replica: true, State: state, StalenessMs: -1}
+	if v := h.Get("X-Quaestor-Staleness-Ms"); v != "" {
+		if ms, err := strconv.ParseFloat(v, 64); err == nil {
+			meta.StalenessMs = ms
+		}
+	}
+	if v := h.Get("X-Quaestor-Replica-Lag"); v != "" {
+		if lag, err := strconv.ParseUint(v, 10, 64); err == nil {
+			meta.LagSeq = lag
+		}
+	}
+	c.mu.Lock()
+	c.lastReplica = meta
+	c.stats.ReplicaResponses++
+	if meta.StalenessMs > c.stats.MaxStalenessMs {
+		c.stats.MaxStalenessMs = meta.StalenessMs
+	}
+	c.mu.Unlock()
+}
+
+// LastReplicaMeta returns the replica annotation of the most recent
+// replica-served response (zero value until one is observed). Together
+// with Stats.MaxStalenessMs this is the admission-bound groundwork for
+// routing reads across replicas by staleness.
+func (c *Client) LastReplicaMeta() ReplicaMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastReplica
 }
 
 // ReadOptions tunes one read.

@@ -41,6 +41,7 @@ func (c *Client) fetchEBF(table string) (ebf.Snapshot, error) {
 		return ebf.Snapshot{}, err
 	}
 	defer resp.Body.Close()
+	c.observeReplicaHeaders(resp.Header)
 	if resp.StatusCode != http.StatusOK {
 		return ebf.Snapshot{}, fmt.Errorf("client: EBF endpoint returned %s", resp.Status)
 	}

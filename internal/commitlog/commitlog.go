@@ -70,6 +70,14 @@ type Event struct {
 	Table   string
 	Op      OpType
 	Deleted bool
+	// Synthetic marks an event that does not correspond to a single
+	// logged write: a snapshot import publishes the diff between the old
+	// and imported state as synthetic events so local subscribers
+	// (InvaliDB, SSE, replay rings) converge without waiting for organic
+	// writes. Synthetic events share the snapshot floor as their Seq —
+	// the one sanctioned exception to the strictly-increasing contract —
+	// and are never re-logged to the WAL.
+	Synthetic bool
 	// Before is the pre-image (nil for inserts). After is the after-image
 	// (content at Seq; for deletes only ID/Version are meaningful). Both
 	// are deep copies and safe to retain.
@@ -215,7 +223,9 @@ func (l *Log) ringFullLocked() bool {
 
 // Append publishes a batch of events. The caller must deliver events in
 // strictly increasing Seq order across all Append calls — use a Sequencer
-// when commit acknowledgements can arrive out of order. Append blocks
+// when commit acknowledgements can arrive out of order. (The one
+// exception is a Sequencer.PublishSynthetic batch, whose events share a
+// snapshot floor as their Seq and are flagged Synthetic.) Append blocks
 // only when a Block-policy subscriber is a full ring behind; on a closed
 // log it is a no-op.
 func (l *Log) Append(events []Event) {

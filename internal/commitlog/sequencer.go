@@ -167,6 +167,32 @@ func (q *Sequencer) AdvanceTo(next uint64) {
 	q.flushAndUnlock()
 }
 
+// PublishSynthetic appends a batch of synthetic events — state
+// transitions a snapshot import derived by diffing old vs imported
+// state, not commits of their own — directly to the fan-out log,
+// bypassing the reorder buffer. It is the companion of AdvanceTo: after
+// the sequencer jumped to a snapshot floor F+1, the import publishes
+// the diff as events sequenced at the floor F (they describe writes the
+// collapsed range subsumed, so they cannot consume sequence numbers the
+// primary owns). Every event is stamped Synthetic; subscribers must
+// tolerate the resulting run of equal Seqs. Events must carry Seq below
+// the sequencer's next expectation — with in-flight publishes quiesced
+// (the import path's single-applier contract), the append cannot
+// interleave mid-flush with ordered traffic.
+func (q *Sequencer) PublishSynthetic(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	for i := range evs {
+		evs[i].Synthetic = true
+	}
+	// Held across Append for the same reason flushAndUnlock holds it:
+	// batches from distinct publishers must not interleave.
+	q.mu.Lock()
+	q.log.Append(evs)
+	q.mu.Unlock()
+}
+
 // Skip resolves seq as never-committed (its WAL append failed), releasing
 // the events queued behind it.
 func (q *Sequencer) Skip(seq uint64) {

@@ -392,7 +392,11 @@ type attachedStore struct {
 // AttachStore pumps a store's ordered change stream into the cluster
 // until the store closes or the cluster stops. It returns a cancel
 // function. The pump asserts the commit pipeline's contract — strictly
-// increasing Seq — and counts violations in OrderViolations.
+// increasing Seq — and counts violations in OrderViolations. Synthetic
+// events (a snapshot import's old-vs-imported diff) are exempt: they
+// share the snapshot floor as their Seq by design, so a floor-sequenced
+// run is not disorder — the batch as a whole still lands between the
+// pre-import tail and the first post-import event.
 func (c *Cluster) AttachStore(s *store.Store) func() {
 	ch, cancel := s.SubscribeNamed("invalidb")
 	att := &attachedStore{st: s}
@@ -404,12 +408,14 @@ func (c *Cluster) AttachStore(s *store.Store) func() {
 		defer close(done)
 		var last uint64
 		for ev := range ch {
-			if ev.Seq <= last {
+			if ev.Seq <= last && !ev.Synthetic {
 				c.disorder.Add(1)
 			}
-			last = ev.Seq
+			if ev.Seq > last {
+				last = ev.Seq
+			}
 			c.Ingest(ev)
-			att.pumped.Store(ev.Seq)
+			att.pumped.Store(last)
 		}
 	}()
 	return func() {

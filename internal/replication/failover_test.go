@@ -92,7 +92,10 @@ func (sl *shadowLog) deletedAfter(table, id string, r uint64) bool {
 
 // seqWatcher asserts a subscriber of the replica's own pipeline sees a
 // strictly increasing stream — across bootstrap jumps and, crucially,
-// across promotion.
+// across promotion. Synthetic events are exempt: a bootstrap import
+// publishes its state diff as a floor-sequenced batch (equal Seqs by
+// design), which must still land between the pre-import tail and the
+// first post-import event.
 type seqWatcher struct {
 	mu      sync.Mutex
 	lastSeq uint64
@@ -105,12 +108,14 @@ func watchSeqs(ch <-chan store.ChangeEvent) *seqWatcher {
 	go func() {
 		for ev := range ch {
 			w.mu.Lock()
-			if ev.Seq <= w.lastSeq {
+			if ev.Seq <= w.lastSeq && !ev.Synthetic {
 				if len(w.errs) < 10 {
 					w.errs = append(w.errs, fmt.Sprintf("seq %d delivered after %d", ev.Seq, w.lastSeq))
 				}
 			}
-			w.lastSeq = ev.Seq
+			if ev.Seq > w.lastSeq {
+				w.lastSeq = ev.Seq
+			}
 			w.count++
 			w.mu.Unlock()
 		}

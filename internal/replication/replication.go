@@ -159,11 +159,11 @@ type Replica struct {
 	opts Options
 	db   *store.Store
 
-	mu        sync.Mutex
-	state     State
-	cancel    context.CancelFunc // cancels the in-flight attempt
-	started   bool
-	stopped   bool
+	mu          sync.Mutex
+	state       State
+	cancel      context.CancelFunc // cancels the in-flight attempt
+	started     bool
+	stopped     bool
 	primarySeq  uint64    // newest LastSeq observed from the primary
 	lastContact time.Time // last frame (or successful transfer) received
 	freshAsOf   time.Time // last moment applied == primary's LastSeq
@@ -173,6 +173,10 @@ type Replica struct {
 	reconnects  uint64
 	frames      uint64
 	applied     uint64
+	// synthDeletes/synthPuts accumulate the synthetic events re-bootstrap
+	// imports published (the old-vs-imported state diff).
+	synthDeletes uint64
+	synthPuts    uint64
 
 	stop chan struct{} // closed by Stop
 	done chan struct{} // closed when the loop exits
@@ -407,9 +411,12 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	}
 	r.mu.Lock()
 	r.bootstraps++
+	r.synthDeletes += uint64(info.SyntheticDeletes)
+	r.synthPuts += uint64(info.SyntheticPuts)
 	r.lastContact = time.Now()
 	r.mu.Unlock()
-	r.opts.Logf("replication: bootstrapped from snapshot (floor %d, %d docs)", info.Seq, info.Docs)
+	r.opts.Logf("replication: bootstrapped from snapshot (floor %d, %d docs, %d synthetic deletes, %d synthetic puts)",
+		info.Seq, info.Docs, info.SyntheticDeletes, info.SyntheticPuts)
 	return nil
 }
 
@@ -530,6 +537,13 @@ type Status struct {
 	Reconnects      uint64 `json:"reconnects"`
 	Frames          uint64 `json:"frames"`
 	RecordsApplied  uint64 `json:"recordsApplied"`
+	// SyntheticDeletes/SyntheticPuts count the synthetic events
+	// re-bootstrap imports published for documents deleted (resp. created
+	// or re-versioned) inside collapsed snapshot ranges — the signal that
+	// local subscribers (InvaliDB, SSE) were actively converged instead
+	// of left holding stale entries.
+	SyntheticDeletes uint64 `json:"syntheticDeletes"`
+	SyntheticPuts    uint64 `json:"syntheticPuts"`
 }
 
 // Status reports the replica's current state and staleness bound.
@@ -538,18 +552,20 @@ func (r *Replica) Status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Status{
-		State:           r.state,
-		Primary:         r.opts.Primary,
-		LastSeq:         r.db.LastSeq(),
-		PrimaryLastSeq:  r.primarySeq,
-		StalenessMs:     -1,
-		LastContactMs:   -1,
-		ReadOnly:        r.db.IsReadOnly(),
-		Bootstraps:      r.bootstraps,
-		SegmentCatchups: r.segCatchups,
-		Reconnects:      r.reconnects,
-		Frames:          r.frames,
-		RecordsApplied:  r.applied,
+		State:            r.state,
+		Primary:          r.opts.Primary,
+		LastSeq:          r.db.LastSeq(),
+		PrimaryLastSeq:   r.primarySeq,
+		StalenessMs:      -1,
+		LastContactMs:    -1,
+		ReadOnly:         r.db.IsReadOnly(),
+		Bootstraps:       r.bootstraps,
+		SegmentCatchups:  r.segCatchups,
+		Reconnects:       r.reconnects,
+		Frames:           r.frames,
+		RecordsApplied:   r.applied,
+		SyntheticDeletes: r.synthDeletes,
+		SyntheticPuts:    r.synthPuts,
 	}
 	if st.PrimaryLastSeq > st.LastSeq {
 		st.LagSeq = st.PrimaryLastSeq - st.LastSeq

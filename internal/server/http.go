@@ -125,6 +125,10 @@ func (s *Server) handleEBF(w http.ResponseWriter, r *http.Request) {
 	}
 	// The EBF itself must never be cached: it is the coherence signal.
 	w.Header().Set("Cache-Control", "no-store")
+	// On a replica the filter describes replica state: annotate it with
+	// the staleness bound like every other replica-served read, so
+	// clients can weigh the coherence signal's own age.
+	s.addReplicaHeaders(w)
 	body := EBFResponse{
 		Filter:      base64.StdEncoding.EncodeToString(snap.Filter.Marshal()),
 		GeneratedAt: snap.GeneratedAt.UnixNano(),
@@ -189,6 +193,7 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
+		s.addReplicaHeaders(w)
 		writeJSON(w, http.StatusOK, map[string]any{"table": table, "paths": paths})
 	default:
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST only"})

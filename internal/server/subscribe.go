@@ -124,6 +124,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("X-Quaestor-Key", q.Key())
+	// Replica-served streams are annotated like any other read: the
+	// staleness bound at attach time.
+	s.addReplicaHeaders(w)
 	w.WriteHeader(http.StatusOK)
 	if canFlush {
 		flusher.Flush()

@@ -87,27 +87,47 @@ func (s *Store) ExportSnapshot(w io.Writer) (wal.SnapshotMeta, int, error) {
 	return meta, sw.Docs(), nil
 }
 
+// ImportInfo describes a completed snapshot import: the snapshot's
+// figures plus the synthetic events the old-vs-imported diff published.
+type ImportInfo struct {
+	SnapshotInfo
+	// SyntheticDeletes counts documents that vanished inside the
+	// collapsed range (a synthetic Delete was published for each);
+	// SyntheticPuts counts documents created or re-versioned there.
+	SyntheticDeletes int `json:"syntheticDeletes"`
+	SyntheticPuts    int `json:"syntheticPuts"`
+}
+
 // ImportSnapshot replaces the store's contents with a snapshot stream
-// (the format ExportSnapshot produces): existing documents are cleared,
-// the snapshot's tables/indexes/documents are installed through the
-// recovery apply path, and the sequence counter jumps to the snapshot's
+// (the format ExportSnapshot produces) as a double-buffered atomic swap:
+// the stream is applied into a shadow table set (indexes included) while
+// the old state keeps serving reads untouched, and only after the end
+// frame validates the transfer is the new state swapped in atomically
+// under the table lock. Concurrent readers therefore observe either the
+// complete old state or the complete new state, never a mix; a
+// mid-stream error, a truncated transfer or a stale floor leaves the old
+// state fully intact. The sequence counter jumps to the snapshot's
 // floor — the point the replica then streams from. On durable stores the
 // incoming bytes are simultaneously persisted as the local snapshot file
 // and the WAL is reset (rotate + drop sealed segments), so a restart
 // recovers straight from the imported state.
 //
-// The caller must be the only writer (a replica's single replication
-// applier). On a mid-stream error the in-memory state may be partially
-// cleared; the on-disk state is untouched and a retried import repairs
-// memory.
+// After the swap, the old and imported states are diffed and the
+// difference is published as synthetic events sequenced at the floor —
+// Deletes for documents that vanished inside the collapsed range, Puts
+// for documents created or re-versioned there — delivered to local
+// subscribers (InvaliDB, SSE, replay rings) but never re-logged to the
+// WAL, which the teed snapshot file already supersedes. Every local
+// cache layer converges without waiting for the next organic write.
 //
-// Known limitations of replace-style re-bootstrap (ROADMAP): the
-// collapsed range emits no per-document events, so local subscribers
-// (InvaliDB, SSE) are not told about documents deleted inside it and
-// may serve stale cached results until those queries see another
-// write; and reads served while the import is streaming can observe a
-// partially-replaced store.
-func (s *Store) ImportSnapshot(r io.Reader) (SnapshotInfo, error) {
+// Tables and secondary indexes the snapshot does not carry survive:
+// local tables stay (emptied — the import supersedes all replicated
+// documents) and per-node index definitions are rebuilt against the
+// imported documents.
+//
+// The caller must be the only writer (a replica's single replication
+// applier).
+func (s *Store) ImportSnapshot(r io.Reader) (ImportInfo, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	start := time.Now()
@@ -122,7 +142,7 @@ func (s *Store) ImportSnapshot(r io.Reader) (SnapshotInfo, error) {
 		tmp := filepath.Join(s.opts.DataDir, wal.SnapshotName+".tmp")
 		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 		if err != nil {
-			return SnapshotInfo{}, fmt.Errorf("store: creating snapshot temp: %w", err)
+			return ImportInfo{}, fmt.Errorf("store: creating snapshot temp: %w", err)
 		}
 		tmpF = f
 		tmpW = bufio.NewWriterSize(f, 1<<16)
@@ -135,6 +155,9 @@ func (s *Store) ImportSnapshot(r io.Reader) (SnapshotInfo, error) {
 		}()
 	}
 
+	// The stream lands in a private shadow table set; the live state is
+	// not touched until the whole transfer has validated.
+	shadow := map[string]*table{}
 	var meta wal.SnapshotMeta
 	docs := 0
 	err := wal.ReadSnapshotStream(src,
@@ -143,53 +166,160 @@ func (s *Store) ImportSnapshot(r io.Reader) (SnapshotInfo, error) {
 				return fmt.Errorf("%w: floor %d, store at %d", ErrSnapshotStale, m.Seq, s.seq.Load())
 			}
 			meta = m
-			// Only now — after the meta frame validated — is the local
-			// state replaced: a truncated-before-meta transfer or a stale
-			// snapshot must not leave the replica serving an empty store.
-			s.clearAllDocs()
 			for _, tm := range m.Tables {
-				if _, err := s.createTable(tm.Name); err != nil {
-					return err
-				}
+				t := newTable(tm.Name, s.opts.ShardsPerTable)
+				shadow[tm.Name] = t
 				for _, p := range tm.Indexes {
-					if err := s.CreateIndex(tm.Name, p); err != nil {
-						return err
-					}
+					shadowIndex(t, p)
 				}
 			}
 			return nil
 		},
 		func(tbl string, doc *document.Document) error {
 			docs++
-			return s.applyPut(tbl, doc)
+			t, ok := shadow[tbl]
+			if !ok {
+				return fmt.Errorf("store: snapshot doc for undeclared table %q", tbl)
+			}
+			sh := t.shardFor(doc.ID)
+			if prev, ok := sh.docs[doc.ID]; ok {
+				sh.indexRemove(prev)
+			}
+			sh.docs[doc.ID] = doc
+			sh.indexAdd(doc)
+			return nil
 		})
 	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("store: importing snapshot: %w", err)
+		return ImportInfo{}, fmt.Errorf("store: importing snapshot: %w", err)
+	}
+
+	// Local definitions survive the re-bootstrap: tables absent from the
+	// snapshot stay (empty), and per-node secondary indexes are rebuilt
+	// against the imported documents. Definitions the snapshot meta does
+	// not cover are collected for re-logging: on durable stores the WAL
+	// reset below destroys the DDL records that created them, and the
+	// teed snapshot only carries the primary's meta, so without a fresh
+	// record a restart would silently drop them.
+	var localDDL []wal.Record
+	inMeta := make(map[string]bool, len(meta.Tables))
+	for _, tm := range meta.Tables {
+		inMeta[tm.Name] = true
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ImportInfo{}, ErrClosed
+	}
+	locals := make(map[string]*table, len(s.tables))
+	for name, t := range s.tables {
+		locals[name] = t
+	}
+	s.mu.RUnlock()
+	for name, lt := range locals {
+		lt.idxMu.RLock()
+		paths := append([]string(nil), lt.indexPaths...)
+		lt.idxMu.RUnlock()
+		nt, ok := shadow[name]
+		if !ok {
+			nt = newTable(name, s.opts.ShardsPerTable)
+			shadow[name] = nt
+		}
+		if !inMeta[name] {
+			localDDL = append(localDDL, wal.Record{Kind: wal.KindCreateTable, Table: name})
+		}
+		for _, p := range paths {
+			if shadowIndex(nt, p) {
+				localDDL = append(localDDL, wal.Record{Kind: wal.KindCreateIndex, Table: name, Path: p})
+			}
+		}
 	}
 
 	if s.wal != nil {
 		if err := tmpW.Flush(); err != nil {
-			return SnapshotInfo{}, err
+			return ImportInfo{}, err
 		}
 		if err := tmpF.Sync(); err != nil {
-			return SnapshotInfo{}, err
+			return ImportInfo{}, err
 		}
 		if err := tmpF.Close(); err != nil {
-			return SnapshotInfo{}, err
+			return ImportInfo{}, err
 		}
 		if err := os.Rename(tmpF.Name(), filepath.Join(s.opts.DataDir, wal.SnapshotName)); err != nil {
-			return SnapshotInfo{}, err
+			return ImportInfo{}, err
 		}
 		tmpF = nil // committed: keep
 		// The imported snapshot supersedes all prior local history: seal
 		// the active segment and drop everything sealed. Recovery is now
-		// snapshot + (empty) tail.
+		// snapshot + (empty) tail. (A failure here leaves the old state
+		// serving in memory and a consistent disk pair: records below the
+		// new snapshot's floor are skipped on replay.)
 		sealed, err := s.wal.Rotate()
 		if err != nil {
-			return SnapshotInfo{}, fmt.Errorf("store: resetting wal after import: %w", err)
+			return ImportInfo{}, fmt.Errorf("store: resetting wal after import: %w", err)
 		}
 		if err := s.wal.Remove(sealed); err != nil {
-			return SnapshotInfo{}, fmt.Errorf("store: resetting wal after import: %w", err)
+			return ImportInfo{}, fmt.Errorf("store: resetting wal after import: %w", err)
+		}
+		// Re-log the preserved local-only definitions into the fresh log
+		// (seq-0 DDL records, idempotent on replay), so a restart rebuilds
+		// them over the imported snapshot.
+		for _, rec := range localDDL {
+			if err := s.wal.Append(rec); err != nil {
+				return ImportInfo{}, fmt.Errorf("store: re-logging local ddl after import: %w", err)
+			}
+		}
+	}
+
+	// The swap: one table-map replacement under the store lock. Readers
+	// resolve their table pointer under the same lock, so every read
+	// observes either the complete old state or the complete new state —
+	// a reader that already holds an old table pointer keeps reading the
+	// old state, which is never mutated again.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ImportInfo{}, ErrClosed
+	}
+	// A table created while the import streamed (DDL stays allowed on
+	// replicas) is carried over rather than dropped; it is necessarily
+	// empty of documents (the importer is the only doc writer), so
+	// sharing the pointer with the old set diffs to nothing.
+	var carried []string
+	for name, t := range s.tables {
+		if _, ok := shadow[name]; !ok {
+			shadow[name] = t
+			carried = append(carried, name)
+		}
+	}
+	old := s.tables
+	s.tables = shadow
+	s.mu.Unlock()
+
+	// Concurrently created tables need fresh DDL records too (their
+	// originals predate the reset).
+	if s.wal != nil {
+		for _, name := range carried {
+			if err := s.wal.Append(wal.Record{Kind: wal.KindCreateTable, Table: name}); err != nil {
+				return ImportInfo{}, fmt.Errorf("store: re-logging local ddl after import: %w", err)
+			}
+		}
+	}
+	// Heal index definitions that raced the import: a CreateIndex landing
+	// between the locals capture above and the swap installed itself on an
+	// old table object the swap just retired. Replaying every old path
+	// through CreateIndex is a no-op for paths the shadow already carries
+	// and installs (and, on durable stores, re-logs) the racers against
+	// the imported documents. A CreateIndex still in flight at the swap
+	// instant can lose its in-memory postings until restart, but its DDL
+	// record lands in the fresh log either way.
+	for name, ot := range old {
+		ot.idxMu.RLock()
+		paths := append([]string(nil), ot.indexPaths...)
+		ot.idxMu.RUnlock()
+		for _, p := range paths {
+			if err := s.CreateIndex(name, p); err != nil {
+				return ImportInfo{}, fmt.Errorf("store: re-installing index %s:%s after import: %w", name, p, err)
+			}
 		}
 	}
 
@@ -203,19 +333,107 @@ func (s *Store) ImportSnapshot(r io.Reader) (SnapshotInfo, error) {
 	s.seqr.AdvanceTo(meta.Seq + 1)
 	s.pipeline.Truncate(meta.Seq)
 
-	info := SnapshotInfo{
-		Seq:    meta.Seq,
-		Docs:   docs,
-		At:     meta.CreatedAt,
-		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+	dels, puts := s.publishImportDiff(old, shadow, meta.Seq)
+
+	info := ImportInfo{
+		SnapshotInfo: SnapshotInfo{
+			Seq:    meta.Seq,
+			Docs:   docs,
+			At:     meta.CreatedAt,
+			TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+		},
+		SyntheticDeletes: dels,
+		SyntheticPuts:    puts,
 	}
 	if s.wal != nil {
 		if fi, err := os.Stat(filepath.Join(s.opts.DataDir, wal.SnapshotName)); err == nil {
 			info.Bytes = fi.Size()
 		}
-		s.lastSnap = &info
+		snap := info.SnapshotInfo
+		s.lastSnap = &snap
 	}
 	return info, nil
+}
+
+// shadowIndex installs a secondary index on a shadow table (private to
+// the import, so no locking), building it over any documents already
+// present. It reports whether the path was newly installed (false for
+// an existing one).
+func shadowIndex(t *table, path string) bool {
+	for _, p := range t.indexPaths {
+		if p == path {
+			return false
+		}
+	}
+	t.indexPaths = append(t.indexPaths, path)
+	sort.Strings(t.indexPaths)
+	for _, sh := range t.shards {
+		ix := index.NewField(path)
+		for _, d := range sh.docs {
+			ix.Add(d)
+		}
+		sh.indexes[path] = ix
+	}
+	return true
+}
+
+// publishImportDiff diffs the replaced state against the imported one
+// and publishes the difference as synthetic events sequenced at the
+// snapshot floor: a Delete for every document that vanished inside the
+// collapsed range, a Put for every document created or re-versioned
+// there. The events reach local subscribers only (InvaliDB, SSE, replay
+// rings) — they are never re-logged to the WAL, which the imported
+// snapshot supersedes. Doc lookups are lock-free: the import path is the
+// only writer of either table set.
+func (s *Store) publishImportDiff(old, imported map[string]*table, floor uint64) (dels, puts int) {
+	now := s.opts.Clock()
+	var evs []ChangeEvent
+	for name, ot := range old {
+		nt := imported[name] // never nil: the shadow set includes every local table
+		for _, osh := range ot.shards {
+			for id, odoc := range osh.docs {
+				ndoc := nt.lookupDoc(id)
+				switch {
+				case ndoc == nil:
+					evs = append(evs, ChangeEvent{
+						Seq: floor, Table: name, Op: OpDelete, Deleted: true,
+						Before: odoc,
+						After:  &document.Document{ID: id, Version: odoc.Version + 1},
+						Time:   now,
+					})
+					dels++
+				// Version equality alone cannot prove identity: versions
+				// restart at 1 on recreate, so a document deleted and
+				// re-created inside the collapsed range can land on the same
+				// version with different content. Equal versions fall
+				// through to a content comparison.
+				case ndoc.Version != odoc.Version || !document.DeepEqual(odoc.Fields, ndoc.Fields):
+					evs = append(evs, ChangeEvent{
+						Seq: floor, Table: name, Op: OpUpdate,
+						Before: odoc, After: ndoc, Time: now,
+					})
+					puts++
+				}
+			}
+		}
+	}
+	for name, nt := range imported {
+		ot := old[name]
+		for _, nsh := range nt.shards {
+			for id, ndoc := range nsh.docs {
+				if ot != nil && ot.lookupDoc(id) != nil {
+					continue // pre-existing: handled (or unchanged) above
+				}
+				evs = append(evs, ChangeEvent{
+					Seq: floor, Table: name, Op: OpInsert,
+					After: ndoc, Time: now,
+				})
+				puts++
+			}
+		}
+	}
+	s.seqr.PublishSynthetic(evs)
+	return dels, puts
 }
 
 // snapshotTablesMeta collects the store's tables (sorted by name) and
@@ -243,28 +461,6 @@ func (s *Store) snapshotTablesMeta(floor uint64) ([]*table, wal.SnapshotMeta, er
 		meta.Tables = append(meta.Tables, wal.TableMeta{Name: t.name, Indexes: paths})
 	}
 	return tables, meta, nil
-}
-
-// clearAllDocs empties every shard (documents and index postings),
-// keeping table and index definitions. Used when an imported snapshot
-// replaces the store's contents.
-func (s *Store) clearAllDocs() {
-	s.mu.RLock()
-	tables := make([]*table, 0, len(s.tables))
-	for _, t := range s.tables {
-		tables = append(tables, t)
-	}
-	s.mu.RUnlock()
-	for _, t := range tables {
-		for _, sh := range t.shards {
-			sh.mu.Lock()
-			sh.docs = map[string]*document.Document{}
-			for path := range sh.indexes {
-				sh.indexes[path] = index.NewField(path)
-			}
-			sh.mu.Unlock()
-		}
-	}
 }
 
 // ApplyReplicated applies one ordered batch of replicated log records —

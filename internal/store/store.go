@@ -281,12 +281,18 @@ func (s *Store) createTable(name string) (created bool, err error) {
 	if _, ok := s.tables[name]; ok {
 		return false, nil
 	}
-	t := &table{name: name, shards: make([]*shard, s.opts.ShardsPerTable)}
+	s.tables[name] = newTable(name, s.opts.ShardsPerTable)
+	return true, nil
+}
+
+// newTable builds an empty table with the given shard count — shared by
+// createTable and the snapshot import's shadow table set.
+func newTable(name string, shards int) *table {
+	t := &table{name: name, shards: make([]*shard, shards)}
 	for i := range t.shards {
 		t.shards[i] = &shard{docs: map[string]*document.Document{}, indexes: map[string]*index.Field{}}
 	}
-	s.tables[name] = t
-	return true, nil
+	return t
 }
 
 // Tables returns the sorted table names.
@@ -318,6 +324,13 @@ func (t *table) shardFor(id string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(id))
 	return t.shards[h.Sum32()%uint32(len(t.shards))]
+}
+
+// lookupDoc returns the stored document (not a copy) or nil. Lock-free:
+// only valid on table sets with no concurrent doc writer, i.e. the
+// snapshot import's old/imported sets under the single-applier contract.
+func (t *table) lookupDoc(id string) *document.Document {
+	return t.shardFor(id).docs[id]
 }
 
 // Insert stores a new document. It fails with ErrExists when the id is
