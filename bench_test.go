@@ -242,6 +242,111 @@ func BenchmarkStoreContainsScan(b *testing.B) {
 	benchStoreQuery(b, false, query.New("docs", query.Contains("tags", "t123")))
 }
 
+// ---------------------------------------------------------------------------
+// Streaming-executor benchmarks: the iterator-composed execution paths
+// (bounded top-K, ordered range emission, NDJSON cursor) against the
+// materializing clone-everything-then-Apply baseline. The acceptance
+// target for the streaming executor is ≥5× latency and ≥10× allocation
+// reduction for ORDER BY + LIMIT 10 over 100k matching documents;
+// `go run ./cmd/quaestor-bench -exp querygrid` reproduces the full grid.
+
+const benchStreamDocs = 100_000
+
+var (
+	streamStoreOnce sync.Once
+	streamStore     *store.Store
+)
+
+// newStreamBenchStore builds (once per bench binary) a 100k-document table
+// with a rank index: large enough that the full-sort baseline's clone+sort
+// cost dominates.
+func newStreamBenchStore(b *testing.B) *store.Store {
+	b.Helper()
+	streamStoreOnce.Do(func() {
+		s := store.MustOpen(nil)
+		if err := s.CreateTable("docs"); err != nil {
+			panic(err)
+		}
+		for i := 0; i < benchStreamDocs; i++ {
+			doc := document.New(fmt.Sprintf("d%06d", i), map[string]any{
+				"tag":  fmt.Sprintf("tag%03d", i%1000),
+				"rank": int64(i),
+			})
+			if err := s.Insert("docs", doc); err != nil {
+				panic(err)
+			}
+		}
+		if err := s.CreateIndex("docs", "rank"); err != nil {
+			panic(err)
+		}
+		streamStore = s
+	})
+	return streamStore
+}
+
+// BenchmarkQueryTopK pits the bounded-heap strategy (clone 10 survivors)
+// against the materializing baseline (clone and sort all 100k matches) on
+// ORDER BY rank DESC LIMIT 10 with a match-all predicate.
+func BenchmarkQueryTopK(b *testing.B) {
+	s := newStreamBenchStore(b)
+	q := query.New("docs", nil).Sorted(query.Desc("rank")).Sliced(0, 10)
+	b.Run("streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			docs, _, err := s.QueryPlanned(q)
+			if err != nil || len(docs) != 10 {
+				b.Fatalf("docs=%d err=%v", len(docs), err)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			docs, err := s.ScanQuery(q)
+			if err != nil || len(docs) != 10 {
+				b.Fatalf("docs=%d err=%v", len(docs), err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryStream measures the cursor path itself: ordered-index
+// emission (range plan whose order IS the query order) consumed without
+// clones via NextShared, as the NDJSON encoder does.
+func BenchmarkQueryStream(b *testing.B) {
+	s := newStreamBenchStore(b)
+	q := query.New("docs", query.Gte("rank", int64(0))).
+		Sorted(query.Asc("rank")).Sliced(0, 100)
+	b.Run("cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur, err := s.QueryStream(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for {
+				if _, ok := cur.NextShared(); !ok {
+					break
+				}
+				n++
+			}
+			if n != 100 {
+				b.Fatalf("streamed %d docs", n)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			docs, err := s.ScanQuery(q)
+			if err != nil || len(docs) != 100 {
+				b.Fatalf("docs=%d err=%v", len(docs), err)
+			}
+		}
+	})
+}
+
 const benchRegisteredQueries = 1000
 
 // benchInvaliDBMatch measures matching-cell fan-out with 1k registered

@@ -615,6 +615,60 @@ func (c *Client) QueryWith(q *query.Query, opts ReadOptions) (*Result, error) {
 	return res, nil
 }
 
+// DocStream iterates a streamed NDJSON query response, decoding one
+// document per Next call so arbitrarily large result sets never
+// materialize client-side either. Close releases the connection; it is
+// safe after a partial read.
+type DocStream struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+	err  error
+}
+
+// Next returns the next document, or io.EOF when the stream is exhausted.
+// Any error is sticky.
+func (s *DocStream) Next() (*document.Document, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	var doc document.Document
+	if err := s.dec.Decode(&doc); err != nil {
+		s.err = err
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Close releases the underlying response body.
+func (s *DocStream) Close() error { return s.body.Close() }
+
+// QueryStream executes a query against the streamed NDJSON endpoint
+// (?stream=1). Streamed queries bypass the browser cache and the EBF on
+// purpose: the response is no-store end to end, so there is no cached
+// copy whose staleness could need checking. Use it for large result sets;
+// Query remains the cacheable path.
+func (c *Client) QueryStream(q *query.Query) (*DocStream, error) {
+	c.mu.Lock()
+	c.stats.Queries++
+	c.mu.Unlock()
+
+	path := QueryPath(q)
+	if strings.Contains(path, "?") {
+		path += "&stream=1"
+	} else {
+		path += "?stream=1"
+	}
+	resp, err := c.do(http.MethodGet, path, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return &DocStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
 func cloneResult(r *Result) *Result {
 	cp := &Result{
 		IDs:            append([]string(nil), r.IDs...),

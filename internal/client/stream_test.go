@@ -1,0 +1,78 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+)
+
+// TestQueryStreamIterator drives the NDJSON query path through the full
+// in-process stack: the iterator yields documents in query order, ends
+// with io.EOF, and never touches the browser cache (no-store end to end).
+func TestQueryStreamIterator(t *testing.T) {
+	s := newStack(t, nil)
+	c := s.dial(t, nil)
+	for i := 0; i < 8; i++ {
+		doc := document.New(fmt.Sprintf("p%d", i), map[string]any{"rating": int64(i)})
+		if err := c.Insert("posts", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := query.New("posts", query.Gt("rating", int64(1))).Sorted(query.Desc("rating")).Sliced(0, 4)
+	ds, err := c.QueryStream(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	var ids []string
+	for {
+		d, err := ds.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, d.ID)
+	}
+	want := []string{"p7", "p6", "p5", "p4"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	// Sticky EOF: further calls keep failing cleanly.
+	if _, err := ds.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("post-EOF Next = %v", err)
+	}
+
+	st := c.Stats()
+	if st.Queries == 0 {
+		t.Fatal("streamed query not counted")
+	}
+
+	// Repeating the stream hits the network again: nothing was cached.
+	before := c.Stats().NetworkRequests
+	ds2, err := c.QueryStream(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2.Close()
+	if c.Stats().NetworkRequests <= before {
+		t.Fatal("streamed query must always go to the network")
+	}
+
+	// Unknown table surfaces the server error, not a stream.
+	if _, err := c.QueryStream(query.New("nope", nil)); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}

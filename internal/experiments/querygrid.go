@@ -1,0 +1,197 @@
+// Query-execution grid: the streaming executor's reproducible perf
+// trajectory. A declarative grid of (plan kind × result size × limit
+// on/off) cells, each measuring the iterator-composed executor against the
+// materializing clone-then-Apply baseline on the same store and query, and
+// emitting a machine-readable record (BENCH_<pr>.json) so regressions show
+// up as a diff.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"quaestor/internal/document"
+	"quaestor/internal/metrics"
+	"quaestor/internal/query"
+	"quaestor/internal/store"
+)
+
+// queryGridDocs is the full-scale corpus: large enough that the baseline's
+// clone-and-sort cost dominates, and the acceptance cell (ORDER BY + LIMIT
+// over every document) has ≥100k matching rows.
+const queryGridDocs = 100_000
+
+// QueryGridCell is one measured grid point.
+type QueryGridCell struct {
+	Name     string `json:"name"`
+	Plan     string `json:"plan"`     // access path: scan, probe, range
+	Strategy string `json:"strategy"` // emission: sort-all, top-k, ordered
+	Matches  int    `json:"matches"`  // matching documents before windowing
+	Limit    int    `json:"limit"`    // 0 = unlimited
+
+	StreamedNsOp   int64   `json:"streamedNsOp"`
+	StreamedAllocs int64   `json:"streamedAllocsOp"`
+	StreamedBytes  int64   `json:"streamedBytesOp"`
+	BaselineNsOp   int64   `json:"baselineNsOp"`
+	BaselineAllocs int64   `json:"baselineAllocsOp"`
+	BaselineBytes  int64   `json:"baselineBytesOp"`
+	Speedup        float64 `json:"speedup"`        // baseline / streamed latency
+	AllocReduction float64 `json:"allocReduction"` // baseline / streamed allocs
+}
+
+// QueryGridResult is the full grid run, JSON-marshalable for BENCH files.
+type QueryGridResult struct {
+	Docs  int             `json:"docs"`
+	Cells []QueryGridCell `json:"cells"`
+}
+
+// queryGridStore builds the grid corpus: sequential rank (range axis),
+// ~docs/1000 documents per tag value (probe axis), rank + tag indexed.
+func queryGridStore(docs int) (*store.Store, error) {
+	s := store.MustOpen(nil)
+	if err := s.CreateTable("docs"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < docs; i++ {
+		doc := document.New(fmt.Sprintf("d%07d", i), map[string]any{
+			"tag":  fmt.Sprintf("tag%03d", i%1000),
+			"rank": int64(i),
+		})
+		if err := s.Insert("docs", doc); err != nil {
+			return nil, err
+		}
+	}
+	for _, path := range []string{"tag", "rank"} {
+		if err := s.CreateIndex("docs", path); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// QueryGrid measures every grid cell at the given scale and returns the
+// machine-readable result.
+func QueryGrid(sc Scale) (*QueryGridResult, error) {
+	docs := sc.count(queryGridDocs)
+	s, err := queryGridStore(docs)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	type cell struct {
+		name string
+		q    *query.Query
+	}
+	// The grid: each access path with and without a LIMIT window. Scan cells
+	// use an unsargable Exists predicate so the planner cannot pick an
+	// index. "scan/limit" is the acceptance configuration — ORDER BY +
+	// LIMIT 10 with every document matching.
+	cells := []cell{
+		{"probe/all", query.New("docs", query.Eq("tag", "tag042")).Sorted(query.Asc("rank"))},
+		{"probe/limit", query.New("docs", query.Eq("tag", "tag042")).Sorted(query.Desc("rank")).Sliced(0, 10)},
+		{"range/all", query.New("docs", query.Gte("rank", int64(docs/2))).Sorted(query.Asc("rank"))},
+		{"range/limit", query.New("docs", query.Gte("rank", int64(docs/2))).Sorted(query.Asc("rank")).Sliced(0, 10)},
+		{"scan/all", query.New("docs", query.Exists("tag", true)).Sorted(query.Asc("rank"))},
+		{"scan/limit", query.New("docs", nil).Sorted(query.Desc("rank")).Sliced(0, 10)},
+	}
+
+	result := &QueryGridResult{Docs: docs}
+	for _, c := range cells {
+		plan, err := s.Explain(c.q)
+		if err != nil {
+			return nil, err
+		}
+		matched, _, err := s.QueryPlanned(query.New("docs", c.q.Predicate))
+		if err != nil {
+			return nil, err
+		}
+
+		q := c.q
+		streamed := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.QueryPlanned(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		baseline := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ScanQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		gc := QueryGridCell{
+			Name:           c.name,
+			Plan:           plan.Kind.String(),
+			Strategy:       plan.Strategy,
+			Matches:        len(matched),
+			Limit:          q.Limit,
+			StreamedNsOp:   streamed.NsPerOp(),
+			StreamedAllocs: int64(streamed.AllocsPerOp()),
+			StreamedBytes:  int64(streamed.AllocedBytesPerOp()),
+			BaselineNsOp:   baseline.NsPerOp(),
+			BaselineAllocs: int64(baseline.AllocsPerOp()),
+			BaselineBytes:  int64(baseline.AllocedBytesPerOp()),
+		}
+		if gc.StreamedNsOp > 0 {
+			gc.Speedup = float64(gc.BaselineNsOp) / float64(gc.StreamedNsOp)
+		}
+		if gc.StreamedAllocs > 0 {
+			gc.AllocReduction = float64(gc.BaselineAllocs) / float64(gc.StreamedAllocs)
+		}
+		result.Cells = append(result.Cells, gc)
+	}
+	return result, nil
+}
+
+// Table renders the grid as the summary table the bench runner prints.
+func (r *QueryGridResult) Table() string {
+	tbl := metrics.NewTable("cell", "plan", "strategy", "matches", "limit",
+		"streamed", "baseline", "speedup", "alloc-reduction")
+	for _, c := range r.Cells {
+		tbl.AddRow(c.Name, c.Plan, c.Strategy,
+			fmt.Sprintf("%d", c.Matches), fmt.Sprintf("%d", c.Limit),
+			fmtNs(c.StreamedNsOp), fmtNs(c.BaselineNsOp),
+			fmt.Sprintf("%.1fx", c.Speedup), fmt.Sprintf("%.1fx", c.AllocReduction))
+	}
+	return tbl.String()
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// QueryGridReport runs the grid, optionally writes the machine-readable
+// JSON record to outPath, and returns the formatted summary.
+func QueryGridReport(sc Scale, outPath string) string {
+	r, err := QueryGrid(sc)
+	if err != nil {
+		return fmt.Sprintf("querygrid failed: %v\n", err)
+	}
+	out := section(fmt.Sprintf("Query grid — streaming executor vs materializing baseline (%d docs)", r.Docs), r.Table())
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			out += fmt.Sprintf("write %s: %v\n", outPath, err)
+		} else {
+			out += fmt.Sprintf("wrote %s\n", outPath)
+		}
+	}
+	return out
+}

@@ -255,15 +255,28 @@ func (f *Field) RangeScan(lo, hi Bound) []string {
 }
 
 func (f *Field) scanRange(lo, hi Bound, visit func(*entry)) {
+	start, end, ok := f.window(lo, hi)
+	if !ok {
+		return
+	}
+	for i := start; i < end; i++ {
+		visit(f.sorted[i])
+	}
+}
+
+// window resolves the bounds to a half-open [start, end) slice of the
+// sorted entries, restricted to the bound values' type class. ok is false
+// when the reference bound is not a scalar (range operators never match
+// non-scalar values).
+func (f *Field) window(lo, hi Bound) (start, end int, ok bool) {
 	ref := lo.Value
 	if lo.Unbounded {
 		ref = hi.Value
 	}
 	class := classOf(ref)
 	if class == classOther {
-		return // range operators never match non-scalar values
+		return 0, 0, false
 	}
-	start := 0
 	if lo.Unbounded {
 		// First entry of the type class.
 		start = sort.Search(len(f.sorted), func(i int) bool {
@@ -278,18 +291,78 @@ func (f *Field) scanRange(lo, hi Bound, visit func(*entry)) {
 			return c > 0
 		})
 	}
-	for i := start; i < len(f.sorted); i++ {
-		e := f.sorted[i]
-		if classOf(e.val) != class {
-			break // left the contiguous class segment
+	if hi.Unbounded {
+		// Entries sort by type rank first, so the class segment ends where
+		// a later-ranked type begins; Compare against any in-class value
+		// cannot express that, hence the explicit class probe.
+		end = start + sort.Search(len(f.sorted)-start, func(i int) bool {
+			v := f.sorted[start+i].val
+			return classOf(v) != class && !lessClass(v, class)
+		})
+	} else {
+		end = start + sort.Search(len(f.sorted)-start, func(i int) bool {
+			c := document.Compare(f.sorted[start+i].val, hi.Value)
+			return c > 0 || (c == 0 && !hi.Inclusive)
+		})
+	}
+	return start, end, true
+}
+
+// RangeRuns visits the whole-value posting ids of the entries within
+// [lo, hi] in value order — descending when desc — grouping Compare-equal
+// adjacent entries into one run and sorting each run's ids ascending.
+// Returning false from visit stops the scan.
+//
+// This is the ordered execution source: value order matches an ORDER BY on
+// the indexed path (walked backwards for descending), and ascending ids
+// within a run match the query order's id tie-break, which ignores the
+// sort direction. MatchKey equality coincides with Compare equality, so
+// runs are single entries in practice; the grouping is defensive, keeping
+// emission order correct even if the two notions ever diverge.
+func (f *Field) RangeRuns(lo, hi Bound, desc bool, visit func(ids []string) bool) {
+	start, end, ok := f.window(lo, hi)
+	if !ok {
+		return
+	}
+	emit := func(run []*entry) bool {
+		n := 0
+		for _, e := range run {
+			n += len(e.whole)
 		}
-		if !hi.Unbounded {
-			c := document.Compare(e.val, hi.Value)
-			if c > 0 || (c == 0 && !hi.Inclusive) {
-				break
+		if n == 0 {
+			return true // only element postings: arrays never satisfy ranges
+		}
+		ids := make([]string, 0, n)
+		for _, e := range run {
+			for id := range e.whole {
+				ids = append(ids, id)
 			}
 		}
-		visit(e)
+		sort.Strings(ids)
+		return visit(ids)
+	}
+	if !desc {
+		for i := start; i < end; {
+			j := i + 1
+			for j < end && document.Compare(f.sorted[j].val, f.sorted[i].val) == 0 {
+				j++
+			}
+			if !emit(f.sorted[i:j]) {
+				return
+			}
+			i = j
+		}
+		return
+	}
+	for j := end; j > start; {
+		i := j - 1
+		for i > start && document.Compare(f.sorted[i-1].val, f.sorted[j-1].val) == 0 {
+			i--
+		}
+		if !emit(f.sorted[i:j]) {
+			return
+		}
+		j = i
 	}
 }
 

@@ -128,6 +128,91 @@ func TestRangeScanArraysExcluded(t *testing.T) {
 	wantIDs(t, f.RangeScan(Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}), "d")
 }
 
+// rangeRunsField builds the shared fixture for the RangeRuns tests:
+// numbers 1 (two docs), 2, 3, a string, and an array whose element posting
+// collides with the value-2 entry.
+func rangeRunsField() *Field {
+	f := NewField("n")
+	f.Add(doc("b", map[string]any{"n": int64(1)}))
+	f.Add(doc("a", map[string]any{"n": int64(1)}))
+	f.Add(doc("c", map[string]any{"n": int64(2)}))
+	f.Add(doc("d", map[string]any{"n": int64(3)}))
+	f.Add(doc("s", map[string]any{"n": "x"}))
+	f.Add(doc("arr", map[string]any{"n": []any{int64(2)}}))
+	return f
+}
+
+func collectRuns(f *Field, lo, hi Bound, desc bool, stopAfter int) [][]string {
+	var runs [][]string
+	f.RangeRuns(lo, hi, desc, func(ids []string) bool {
+		runs = append(runs, append([]string(nil), ids...))
+		return stopAfter == 0 || len(runs) < stopAfter
+	})
+	return runs
+}
+
+func wantRuns(t *testing.T, got, want [][]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("runs = %v, want %v", got, want)
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("runs = %v, want %v", got, want)
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("runs = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestRangeRunsAscending(t *testing.T) {
+	f := rangeRunsField()
+	// Full numeric class: value order, ids ascending within the 1-run, the
+	// string and the array excluded. The value-2 entry carries an element
+	// posting (arr) that must not surface.
+	got := collectRuns(f, Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}, false, 0)
+	wantRuns(t, got, [][]string{{"a", "b"}, {"c"}, {"d"}})
+}
+
+func TestRangeRunsDescending(t *testing.T) {
+	f := rangeRunsField()
+	got := collectRuns(f, Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}, true, 0)
+	wantRuns(t, got, [][]string{{"d"}, {"c"}, {"a", "b"}})
+}
+
+func TestRangeRunsBounds(t *testing.T) {
+	f := rangeRunsField()
+	// Exclusive low, bounded high.
+	got := collectRuns(f, Bound{Value: int64(1)}, Bound{Value: int64(3), Inclusive: true}, false, 0)
+	wantRuns(t, got, [][]string{{"c"}, {"d"}})
+	// Exclusive high.
+	got = collectRuns(f, Bound{Unbounded: true}, Bound{Value: int64(3)}, false, 0)
+	wantRuns(t, got, [][]string{{"a", "b"}, {"c"}})
+	// String class window stays clear of the numeric segment.
+	got = collectRuns(f, Bound{Value: "a", Inclusive: true}, Bound{Unbounded: true}, false, 0)
+	wantRuns(t, got, [][]string{{"s"}})
+}
+
+func TestRangeRunsEarlyStop(t *testing.T) {
+	f := rangeRunsField()
+	got := collectRuns(f, Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}, false, 1)
+	wantRuns(t, got, [][]string{{"a", "b"}})
+	got = collectRuns(f, Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}, true, 2)
+	wantRuns(t, got, [][]string{{"d"}, {"c"}})
+}
+
+func TestRangeRunsElemOnlyEntrySkipped(t *testing.T) {
+	f := NewField("n")
+	f.Add(doc("arr", map[string]any{"n": []any{int64(5)}}))
+	got := collectRuns(f, Bound{Value: int64(0), Inclusive: true}, Bound{Unbounded: true}, false, 0)
+	if len(got) != 0 {
+		t.Fatalf("element-only entry leaked into runs: %v", got)
+	}
+}
+
 func TestValueKeys(t *testing.T) {
 	whole, elems := ValueKeys([]any{"a", int64(2)})
 	if whole != document.Canonical([]any{"a", int64(2)}) {

@@ -69,6 +69,17 @@ type Plan struct {
 	EstimatedRows int
 	// Reason explains the decision, EXPLAIN-style.
 	Reason string
+
+	// Execution report, filled by the streaming executor (and by Explain
+	// for the strategy/elision fields, which are static properties of the
+	// plan): the emission strategy chosen (StrategySortAll, StrategyTopK
+	// or StrategyOrdered), how many predicate conjuncts the index access
+	// already guarantees (residual pushdown), and the measured
+	// examined/returned row counts of one execution.
+	Strategy        string
+	ElidedConjuncts int
+	RowsExamined    int
+	RowsReturned    int
 }
 
 // IndexStats are the per-index statistics the planner consumes.

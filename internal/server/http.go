@@ -28,6 +28,7 @@ import (
 //	DELETE /v1/db/{table}/{id}         — delete record
 //	POST   /v1/db/{table}              — insert record
 //	GET    /v1/db/{table}?q=…&sort=…&limit=…&offset=… — query (cacheable)
+//	GET    /v1/db/{table}?…&stream=1   — streamed query (NDJSON, uncacheable)
 //	POST   /v1/indexes/{table}         — create secondary index ({"path": …})
 //	GET    /v1/indexes/{table}         — list indexed field paths
 //	GET    /v1/stats                   — server statistics (plan counts, commit pipeline, WAL/recovery, replication)
@@ -406,6 +407,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table strin
 		writeError(w, err)
 		return
 	}
+	if streamRequested(r.URL.Query().Get("stream")) {
+		s.streamQuery(w, q)
+		return
+	}
 	res, err := s.Query(q)
 	if err != nil {
 		writeError(w, err)
@@ -438,6 +443,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table strin
 		body.Docs = res.Docs
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// streamRequested interprets the stream query parameter ("1", "true", …).
+func streamRequested(v string) bool {
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
+}
+
+// ndjsonFlushEvery bounds how many streamed documents may sit in the
+// response writer's buffer before an explicit flush.
+const ndjsonFlushEvery = 64
+
+// streamQuery serves a query as NDJSON: one document per line, written
+// straight off the executor's cursor, so the result set never materializes
+// server-side — no JSON buffer, and (by the store's copy-on-write
+// contract) not even per-document clones. Streamed responses are
+// inherently uncacheable: intermediaries would have to buffer the whole
+// body to cache it, defeating the point, so the server emits no-store and
+// skips the TTL/EBF/activation machinery.
+func (s *Server) streamQuery(w http.ResponseWriter, q *query.Query) {
+	cur, err := s.QueryStream(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Quaestor-Key", q.Key())
+	s.addReplicaHeaders(w)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for n := 0; ; {
+		d, ok := cur.NextShared()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(d); err != nil {
+			return // client went away mid-stream
+		}
+		n++
+		if flusher != nil && n%ndjsonFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func cacheControlValue(browserTTL, cdnTTL interface{ Seconds() float64 }) string {

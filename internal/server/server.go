@@ -143,6 +143,12 @@ type Stats struct {
 	PlanProbes uint64 // hash-index equality/IN/CONTAINS probes
 	PlanRanges uint64 // ordered-index range scans
 	PlanScans  uint64 // full table scans
+	// Streaming-executor totals: documents the executor evaluated vs rows
+	// it actually emitted. Their ratio is the measured selectivity of the
+	// chosen access paths — the signal that validates the planner's simple
+	// cost model against reality.
+	RowsExamined uint64
+	RowsReturned uint64
 }
 
 // Server is the Quaestor middleware instance.
@@ -186,6 +192,8 @@ type Server struct {
 	planProbes       atomic.Uint64
 	planRanges       atomic.Uint64
 	planScans        atomic.Uint64
+	rowsExamined     atomic.Uint64
+	rowsReturned     atomic.Uint64
 	sseDropped       atomic.Uint64
 
 	// planLatency holds one histogram per plan kind (scan/probe/range) so
@@ -300,6 +308,8 @@ func (s *Server) Stats() Stats {
 		PlanProbes:       s.planProbes.Load(),
 		PlanRanges:       s.planRanges.Load(),
 		PlanScans:        s.planScans.Load(),
+		RowsExamined:     s.rowsExamined.Load(),
+		RowsReturned:     s.rowsReturned.Load(),
 	}
 }
 
@@ -320,7 +330,8 @@ func (s *Server) PlanLatency(kind query.PlanKind) *metrics.Histogram {
 	return s.planLatency[kind]
 }
 
-// recordPlan attributes one query execution to its plan choice.
+// recordPlan attributes one query execution to its plan choice and folds
+// the execution report's row counters into the running totals.
 func (s *Server) recordPlan(plan query.Plan, elapsed time.Duration) {
 	switch plan.Kind {
 	case query.PlanProbe:
@@ -330,6 +341,8 @@ func (s *Server) recordPlan(plan query.Plan, elapsed time.Duration) {
 	default:
 		s.planScans.Add(1)
 	}
+	s.rowsExamined.Add(uint64(plan.RowsExamined))
+	s.rowsReturned.Add(uint64(plan.RowsReturned))
 	s.planLatency[plan.Kind].Observe(elapsed)
 }
 
@@ -434,16 +447,21 @@ func (s *Server) Query(q *query.Query) (QueryResult, error) {
 
 	key := q.Key()
 	ids := make([]string, len(docs))
-	recordKeys := make([]string, len(docs))
 	for i, d := range docs {
 		ids[i] = d.ID
-		recordKeys[i] = RecordKey(q.Table, d.ID)
 	}
 	res := QueryResult{Docs: docs, IDs: ids, ETag: resultETag(q, docs)}
 
 	if !s.cacheable() {
 		res.Representation = ttl.ObjectList
 		return res, nil
+	}
+
+	// Per-record cache keys feed the TTL estimator, admission control and
+	// the EBF — work the non-cacheable early return above never needs.
+	recordKeys := make([]string, len(docs))
+	for i, d := range docs {
+		recordKeys[i] = RecordKey(q.Table, d.ID)
 	}
 
 	rep := s.chooseRepresentation(recordKeys)
@@ -479,6 +497,30 @@ func (s *Server) Query(q *query.Query) (QueryResult, error) {
 	res.TTL = dur
 	res.Cacheable = true
 	return res, nil
+}
+
+// QueryStream evaluates q on the streaming executor and returns the store
+// cursor, for consumers that emit results incrementally (the NDJSON
+// endpoint). Streamed results deliberately bypass the caching machinery —
+// no TTL estimation, EBF report or InvaliDB activation; the HTTP layer
+// serves them no-store — because a response consumed as a stream never
+// lands in a cache whole. Plan and row counters are still recorded.
+func (s *Server) QueryStream(q *query.Query) (*store.Cursor, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.mu.Unlock()
+
+	start := s.opts.Clock()
+	cur, err := s.db.QueryStream(q)
+	if err != nil {
+		return nil, err
+	}
+	s.recordPlan(cur.Plan(), s.opts.Clock().Sub(start))
+	s.queries.Add(1)
+	return cur, nil
 }
 
 // chooseRepresentation applies the configured policy.

@@ -692,74 +692,37 @@ func (s *Store) Query(q *query.Query) ([]*document.Document, error) {
 }
 
 // QueryPlanned evaluates q and additionally reports the access plan the
-// planner chose, so callers can attribute latency to plan kinds.
+// planner chose — including its execution report (strategy, residual
+// pushdown, rows examined/returned) — so callers can attribute latency to
+// plan kinds. It drains the streaming executor (see exec.go), cloning only
+// the offset/limit window it returns.
 func (s *Store) QueryPlanned(q *query.Query) ([]*document.Document, query.Plan, error) {
-	t, err := s.table(q.Table)
+	cur, err := s.QueryStream(q)
 	if err != nil {
 		return nil, query.Plan{}, err
 	}
-	plan := query.BuildPlan(q, t)
-	if plan.Kind == query.PlanScan {
-		docs, err := s.ScanQuery(q)
-		return docs, plan, err
+	if cur.Remaining() == 0 {
+		return nil, cur.Plan(), nil
 	}
-	var candidates []*document.Document
-	for _, sh := range t.shards {
-		sh.mu.RLock()
-		ids := sh.lookup(plan)
-		seen := make(map[string]struct{}, len(ids))
-		for _, id := range ids {
-			// Multi-value probes can yield one id several times.
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			// Candidates are a superset; re-verify the full predicate
-			// before paying for the clone.
-			if d, ok := sh.docs[id]; ok && q.Matches(d) {
-				candidates = append(candidates, d.Clone())
-			}
+	out := make([]*document.Document, 0, cur.Remaining())
+	for {
+		d, ok := cur.Next()
+		if !ok {
+			break
 		}
-		sh.mu.RUnlock()
+		out = append(out, d)
 	}
-	return q.Apply(candidates), plan, nil
-}
-
-// lookup resolves a non-scan plan to candidate ids. Caller holds sh.mu.
-func (sh *shard) lookup(plan query.Plan) []string {
-	ix, ok := sh.indexes[plan.Path]
-	if !ok {
-		// The index vanished between planning and execution (possible only
-		// around concurrent CreateIndex); degrade to scanning this shard.
-		ids := make([]string, 0, len(sh.docs))
-		for id := range sh.docs {
-			ids = append(ids, id)
-		}
-		return ids
-	}
-	switch plan.Kind {
-	case query.PlanProbe:
-		if plan.Op == query.OpContains {
-			return ix.ProbeContains(plan.Values[0])
-		}
-		var ids []string
-		for _, v := range plan.Values {
-			ids = append(ids, ix.ProbeEq(v)...)
-		}
-		return ids
-	case query.PlanRange:
-		return ix.RangeScan(toIndexBound(plan.Lo), toIndexBound(plan.Hi))
-	}
-	return nil
+	return out, cur.Plan(), nil
 }
 
 func toIndexBound(b query.Bound) index.Bound {
 	return index.Bound{Value: b.Value, Inclusive: b.Inclusive, Unbounded: b.Unbounded}
 }
 
-// ScanQuery evaluates q by full table scan, bypassing the planner. It is
-// the correctness baseline the planner's property tests and benchmarks
-// compare against.
+// ScanQuery evaluates q by full table scan, bypassing the planner AND the
+// streaming executor: it clones every match and sorts the full set through
+// Query.Apply. It is the materializing correctness baseline the executor's
+// property tests and benchmarks compare against.
 func (s *Store) ScanQuery(q *query.Query) ([]*document.Document, error) {
 	t, err := s.table(q.Table)
 	if err != nil {
@@ -779,13 +742,19 @@ func (s *Store) ScanQuery(q *query.Query) ([]*document.Document, error) {
 }
 
 // Explain returns the access plan the planner would choose for q right
-// now, without executing it.
+// now, without executing it. The plan carries the execution strategy and
+// residual-pushdown report (static properties of the plan); the row
+// counters stay zero until an actual execution fills them.
 func (s *Store) Explain(q *query.Query) (query.Plan, error) {
 	t, err := s.table(q.Table)
 	if err != nil {
 		return query.Plan{}, err
 	}
-	return query.BuildPlan(q, t), nil
+	plan := query.BuildPlan(q, t)
+	_, elided := query.Residual(q.Predicate, plan)
+	plan.Strategy = query.ChooseStrategy(q, plan)
+	plan.ElidedConjuncts = elided
+	return plan, nil
 }
 
 // Count returns the number of documents in a table.
