@@ -22,16 +22,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1, fig8a..fig8f, fig9, fig10, fig11, fig12, table1, ablation-coherence, ablation-ttl, durability, pipeline, querygrid, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1, fig8a..fig8f, fig9, fig10, fig11, fig12, table1, ablation-coherence, ablation-ttl, durability, pipeline, querygrid, topology, all)")
 	scale := flag.Float64("scale", 0.25, "experiment scale: 1.0 = paper parameters, smaller = shorter runs")
 	durable := flag.String("durable", "all", "durability experiment modes: all, memory, never, interval, always")
-	out := flag.String("out", "", "write the querygrid machine-readable record (BENCH JSON) to this path")
+	out := flag.String("out", "", "write the selected experiment's machine-readable record (BENCH JSON) to this path")
 	flag.Parse()
 
 	sc := experiments.Scale(*scale)
 	runners := map[string]func() string{
 		"durability":         func() string { return experiments.Durability(sc, *durable) },
 		"querygrid":          func() string { return experiments.QueryGridReport(sc, *out) },
+		"topology":           func() string { return experiments.TopologyReport(sc, *out) },
 		"pipeline":           func() string { return experiments.Pipeline(sc) },
 		"fig1":               func() string { return experiments.Figure1() },
 		"fig8a":              func() string { return experiments.Figure8a(sc) },
@@ -54,7 +55,7 @@ func main() {
 		"fig1", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f",
 		"fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-coherence", "ablation-ttl", "ablation-est", "ablation-rep",
-		"durability", "pipeline", "querygrid",
+		"durability", "pipeline", "querygrid", "topology",
 	}
 
 	ids := strings.Split(*exp, ",")

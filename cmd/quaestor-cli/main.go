@@ -23,6 +23,7 @@
 //	wal-info                             durability state: segments, batches, recovery
 //	repl-status                          replication role, lag and staleness bound
 //	promote                              promote a replica to a writable primary
+//	cluster-map                          versioned shard map (consistent-hash topology)
 //
 // A bearer token for servers with authorization enabled is passed via
 // -token.
@@ -99,6 +100,8 @@ func main() {
 		err = c.replStatus()
 	case "promote":
 		err = c.simple(http.MethodPost, "/v1/replication/promote", nil)
+	case "cluster-map":
+		err = c.get("/v1/cluster/map")
 	default:
 		fail("unknown command %q", cmd)
 	}
@@ -292,6 +295,15 @@ func (c *cli) replStatus() error {
 	}
 	if resp.StatusCode >= 400 {
 		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	// A sharded replica answers with one status object per shard.
+	if len(data) > 0 && data[0] == '[' {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, data, "", "  "); err != nil {
+			return err
+		}
+		fmt.Println(pretty.String())
+		return nil
 	}
 	var st struct {
 		Role           string  `json:"role"`

@@ -5,18 +5,28 @@
 // carry standard Cache-Control/ETag headers, and the server purges
 // registered reverse proxies on invalidation.
 //
+// With -shards N > 1 the node runs a single-process multi-primary
+// cluster: N independent shard stores (each with its own WAL, commit
+// pipeline and sequence space) behind a consistent-hash router. Writes
+// hash to exactly one shard's pipeline, point reads route directly, and
+// queries scatter-gather through the ordered merge. GET /v1/cluster/map
+// serves the versioned shard map for shard-aware clients.
+//
 // With -data-dir the store is durable: writes go through a segmented
 // group-commit WAL before they are acknowledged, POST /v1/admin/snapshot
 // takes point-in-time snapshots (-auto-snapshot-mb takes them
 // automatically once the WAL grows past a threshold), and restart
 // recovers snapshot + log tail (see /v1/stats for the recovery and WAL
-// counters).
+// counters). Sharded, each shard keeps its own lineage under
+// data-dir/shard-i.
 //
 // With -replica-of the node runs as a read-only log-shipping replica of
 // another server: it bootstraps from the primary's snapshot, follows its
 // ordered commit pipeline, serves reads with staleness headers, rejects
 // writes with 503, and can be promoted to a writable primary via
-// POST /v1/replication/promote (quaestor-cli promote).
+// POST /v1/replication/promote (quaestor-cli promote). A sharded replica
+// (-replica-of with -shards N) runs one replication loop per shard
+// against the primary's per-shard streams (?shard=i).
 //
 // Usage:
 //
@@ -24,8 +34,10 @@
 //	    -query-partitions 4 -object-partitions 2 -mode quaestor \
 //	    -data-dir ./data -fsync always
 //
+//	quaestor-server -addr :8080 -shards 4 -data-dir ./data
+//
 //	quaestor-server -addr :8081 -replica-of http://localhost:8080 \
-//	    -data-dir ./replica-data
+//	    -shards 4 -data-dir ./replica-data
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"quaestor/internal/cluster"
 	"quaestor/internal/invalidb"
 	"quaestor/internal/replication"
 	"quaestor/internal/server"
@@ -51,7 +64,8 @@ func main() {
 	objectParts := flag.Int("object-partitions", 2, "InvaliDB object partitions (rows)")
 	maxQueries := flag.Int("max-queries", 10000, "InvaliDB active query capacity (0 = unlimited)")
 	modeName := flag.String("mode", "quaestor", "cache mode: quaestor, cdn-only, client-only, uncached")
-	shards := flag.Int("shards", 16, "store shards per table")
+	shards := flag.Int("shards", 1, "cluster shards: independent stores + commit pipelines, writes consistent-hashed across them (1 = single node)")
+	tableShards := flag.Int("table-shards", 16, "store lock-striping shards per table within each node")
 	dataDir := flag.String("data-dir", "", "enable durability: WAL + snapshots under this directory (empty = in-memory)")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", 25*time.Millisecond, "max sync lag under -fsync interval")
@@ -79,8 +93,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := store.Open(&store.Options{
-		ShardsPerTable: *shards,
+	storeOpts := store.Options{
+		ShardsPerTable: *tableShards,
 		DataDir:        *dataDir,
 		Durability: store.Durability{
 			Fsync:         fsync,
@@ -88,44 +102,69 @@ func main() {
 			SegmentBytes:  *segmentMB << 20,
 		},
 		AutoSnapshotBytes: *autoSnapMB << 20,
-	})
+	}
+	router, err := cluster.Open(cluster.Options{Shards: *shards, Store: storeOpts})
 	if err != nil {
 		log.Fatalf("opening store: %v", err)
 	}
-	defer db.Close()
-	if st, ok := db.DurabilityStats(); ok {
-		fmt.Printf("durable store at %s (fsync=%s): recovered %d tables, %d docs from snapshot + %d log records (torn tail: %v), last seq %d in %.1fms\n",
-			st.DataDir, fsync, st.Recovery.Tables, st.Recovery.SnapshotDocs,
-			st.Recovery.ReplayedRecords, st.Recovery.TornTail, st.Recovery.LastSeq, st.Recovery.TookMs)
+	defer router.Close()
+	for i, db := range router.Stores() {
+		if st, ok := db.DurabilityStats(); ok {
+			fmt.Printf("shard %d: durable store at %s (fsync=%s): recovered %d tables, %d docs from snapshot + %d log records (torn tail: %v), last seq %d in %.1fms\n",
+				i, st.DataDir, fsync, st.Recovery.Tables, st.Recovery.SnapshotDocs,
+				st.Recovery.ReplayedRecords, st.Recovery.TornTail, st.Recovery.LastSeq, st.Recovery.TookMs)
+		}
 	}
-	srv := server.New(db, &server.Options{
+
+	srvOpts := &server.Options{
 		Mode: mode,
 		InvaliDB: &invalidb.Config{
 			QueryPartitions:  *queryParts,
 			ObjectPartitions: *objectParts,
 			MaxQueries:       *maxQueries,
 		},
-	})
+	}
+	var srv *server.Server
+	if router.NumShards() > 1 {
+		srv = server.NewSharded(router, srvOpts)
+	} else {
+		srv = server.New(router.Store(0), srvOpts)
+	}
 	defer srv.Close()
 
 	if *replicaOf != "" {
 		// Tables, indexes and documents all arrive through replication;
-		// -tables/-indexes are for primaries and are ignored here.
+		// -tables/-indexes are for primaries and are ignored here. Sharded,
+		// each shard store follows the primary's matching shard stream.
 		name := *replicaName
 		if name == "" {
 			name = *addr
 		}
-		repl := replication.New(replication.Options{
-			Store:   db,
-			Primary: *replicaOf,
-			Name:    name,
-			Logf:    log.Printf,
-		})
-		repl.Run()
-		defer repl.Stop()
-		srv.AttachReplica(repl)
-		fmt.Printf("quaestor-server listening on %s as read-only replica of %s (promote via POST /v1/replication/promote)\n",
-			*addr, *replicaOf)
+		sharded := router.NumShards() > 1
+		repls := make([]*replication.Replica, router.NumShards())
+		for i, db := range router.Stores() {
+			rname := name
+			if sharded {
+				rname = fmt.Sprintf("%s/shard-%d", name, i)
+			}
+			repls[i] = replication.New(replication.Options{
+				Store:   db,
+				Primary: *replicaOf,
+				Name:    rname,
+				Sharded: sharded,
+				Shard:   i,
+				Logf:    log.Printf,
+			})
+			repls[i].Run()
+			defer repls[i].Stop()
+		}
+		if sharded {
+			srv.AttachReplicas(repls)
+		} else {
+			srv.AttachReplica(repls[0])
+		}
+		fmt.Printf("quaestor-server listening on %s as read-only replica of %s, %d shard(s) (promote via POST /v1/replication/promote)\n",
+			*addr, *replicaOf, router.NumShards())
 		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 	}
 
@@ -134,7 +173,7 @@ func main() {
 		if t == "" {
 			continue
 		}
-		if err := db.CreateTable(t); err != nil {
+		if err := router.CreateTable(t); err != nil {
 			log.Fatalf("creating table %q: %v", t, err)
 		}
 	}
@@ -147,12 +186,12 @@ func main() {
 		if !ok {
 			log.Fatalf("index spec %q must be table:field.path", spec)
 		}
-		if err := db.CreateIndex(table, path); err != nil {
+		if err := router.CreateIndex(table, path); err != nil {
 			log.Fatalf("creating index %q: %v", spec, err)
 		}
 	}
 
-	fmt.Printf("quaestor-server listening on %s (mode=%s, invalidb=%dx%d)\n",
-		*addr, mode, *objectParts, *queryParts)
+	fmt.Printf("quaestor-server listening on %s (mode=%s, shards=%d, invalidb=%dx%d)\n",
+		*addr, mode, router.NumShards(), *objectParts, *queryParts)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

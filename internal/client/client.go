@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"quaestor/internal/cache"
+	"quaestor/internal/cluster"
 	"quaestor/internal/document"
 	"quaestor/internal/ebf"
 	"quaestor/internal/query"
@@ -119,6 +120,14 @@ type Stats struct {
 	// read-routing layer admission-bounds against.
 	ReplicaResponses uint64
 	MaxStalenessMs   float64
+	// ShardMapRefreshes counts /v1/cluster/map fetches (first contact with
+	// a sharded deployment, plus one per observed epoch change);
+	// ShardRetries counts point ops re-sent because a refreshed map moved
+	// the record to a different node; PrimaryRedirects counts writes
+	// re-sent to the advertised primary after a replica bounced them 503.
+	ShardMapRefreshes uint64
+	ShardRetries      uint64
+	PrimaryRedirects  uint64
 }
 
 // ReplicaMeta is the replica annotation parsed off one response's
@@ -152,6 +161,7 @@ type Client struct {
 	forcedReval map[string]struct{}           // keys whose next read must revalidate
 	lastRead    time.Time                     // newest read timestamp (causal)
 	lastReplica ReplicaMeta                   // newest replica annotation observed
+	smap        *cluster.ShardMap             // cached shard map (nil until a sharded server is seen)
 	stats       Stats
 }
 
@@ -265,14 +275,61 @@ func (c *Client) markRevalidated(key string) {
 	}
 }
 
-// do executes one HTTP exchange. revalidate adds Cache-Control: no-cache so
-// every intermediary bypasses (and refreshes) its cached copy.
+// do executes one HTTP exchange against the default endpoint. revalidate
+// adds Cache-Control: no-cache so every intermediary bypasses (and
+// refreshes) its cached copy.
 func (c *Client) do(method, path string, body []byte, revalidate bool) (*http.Response, error) {
+	return c.doRouted(method, path, body, revalidate, "")
+}
+
+// doRouted executes one exchange, routing point ops (docID != "") to the
+// owning shard's node when a multi-node shard map is cached — otherwise
+// any node works: in single-process sharded mode the server routes
+// internally. Two recovery paths ride on top of the plain exchange:
+//
+//   - A response stamped with an unseen X-Quaestor-Shard-Epoch means the
+//     cached shard map is stale. The map is refetched, and if the new map
+//     moves the record to a different node the op is retried once there.
+//   - A write bounced 503 by a read-only replica redirects once to the
+//     primary the replica advertises via X-Quaestor-Primary.
+func (c *Client) doRouted(method, path string, body []byte, revalidate bool, docID string) (*http.Response, error) {
+	base := c.nodeFor(docID)
+	resp, err := c.send(base, method, path, body, revalidate)
+	if err != nil {
+		return nil, err
+	}
+	if c.observeShardEpoch(resp.Header) && docID != "" {
+		if nb := c.nodeFor(docID); nb != base {
+			resp.Body.Close()
+			c.mu.Lock()
+			c.stats.ShardRetries++
+			c.mu.Unlock()
+			base = nb
+			resp, err = c.send(base, method, path, body, revalidate)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable && method != http.MethodGet {
+		if primary := resp.Header.Get(server.HeaderPrimary); primary != "" && primary != base {
+			resp.Body.Close()
+			c.mu.Lock()
+			c.stats.PrimaryRedirects++
+			c.mu.Unlock()
+			return c.send(primary, method, path, body, revalidate)
+		}
+	}
+	return resp, nil
+}
+
+// send performs one raw exchange against an explicit base URL.
+func (c *Client) send(base, method, path string, body []byte, revalidate bool) (*http.Response, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.opts.BaseURL+path, rdr)
+	req, err := http.NewRequest(method, base+path, rdr)
 	if err != nil {
 		return nil, err
 	}
@@ -290,6 +347,96 @@ func (c *Client) do(method, path string, body []byte, revalidate bool) (*http.Re
 		c.observeReplicaHeaders(resp.Header)
 	}
 	return resp, err
+}
+
+// nodeFor picks the endpoint for a point op: the owning shard's node when
+// the cached map names per-shard nodes, the default endpoint otherwise.
+func (c *Client) nodeFor(docID string) string {
+	if docID == "" {
+		return c.opts.BaseURL
+	}
+	c.mu.Lock()
+	m := c.smap
+	c.mu.Unlock()
+	if m == nil || len(m.Nodes) == 0 {
+		return c.opts.BaseURL
+	}
+	if u := m.NodeURL(m.Shard(docID)); u != "" {
+		return u
+	}
+	return c.opts.BaseURL
+}
+
+// observeShardEpoch folds one response's shard-map epoch into the cached
+// map. It reports true only when a previously cached map turned out
+// stale and the refetch succeeded — the signal that routing may have
+// been wrong and the op should be retried against the new owner. First
+// contact with a sharded deployment fetches the map but needs no retry:
+// the server answered by proxying internally.
+func (c *Client) observeShardEpoch(h http.Header) bool {
+	v := h.Get(server.HeaderShardEpoch)
+	if v == "" {
+		return false
+	}
+	epoch, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	known := c.smap != nil
+	current := uint64(0)
+	if known {
+		current = c.smap.Epoch
+	}
+	c.mu.Unlock()
+	if known && epoch == current {
+		return false
+	}
+	if err := c.RefreshShardMap(); err != nil {
+		return false
+	}
+	return known && epoch != current
+}
+
+// RefreshShardMap fetches /v1/cluster/map and caches it. Called
+// automatically on first contact with a sharded server and on epoch
+// changes; exported so deployments with per-shard endpoints can prime
+// client-side routing before the first point op.
+func (c *Client) RefreshShardMap() error {
+	req, err := http.NewRequest(http.MethodGet, c.opts.BaseURL+"/v1/cluster/map", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	m, err := cluster.ParseShardMap(data)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.smap = m
+	c.stats.NetworkRequests++
+	c.stats.ShardMapRefreshes++
+	c.mu.Unlock()
+	return nil
+}
+
+// ShardMap returns the cached cluster topology (nil until a sharded
+// server has been contacted or RefreshShardMap called).
+func (c *Client) ShardMap() *cluster.ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.smap
 }
 
 // observeReplicaHeaders folds one response's staleness annotation into
@@ -377,7 +524,7 @@ func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Documen
 		}
 	}
 
-	doc, cacheTTL, err := c.fetchRecord(path, revalidate)
+	doc, cacheTTL, err := c.fetchRecord(path, id, revalidate)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +546,7 @@ func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Documen
 				return cached.Clone(), nil
 			}
 		}
-		doc, cacheTTL, err = c.fetchRecord(path, true)
+		doc, cacheTTL, err = c.fetchRecord(path, id, true)
 		if err != nil {
 			return nil, err
 		}
@@ -414,8 +561,8 @@ func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Documen
 
 func etag(version int64) string { return fmt.Sprintf("\"v%d\"", version) }
 
-func (c *Client) fetchRecord(path string, revalidate bool) (*document.Document, time.Duration, error) {
-	resp, err := c.do(http.MethodGet, path, nil, revalidate)
+func (c *Client) fetchRecord(path, id string, revalidate bool) (*document.Document, time.Duration, error) {
+	resp, err := c.doRouted(http.MethodGet, path, nil, revalidate, id)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -687,7 +834,7 @@ func (c *Client) Insert(table string, doc *document.Document) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(http.MethodPost, "/v1/db/"+table, body, false)
+	resp, err := c.doRouted(http.MethodPost, "/v1/db/"+table, body, false, doc.ID)
 	if err != nil {
 		return err
 	}
@@ -705,7 +852,7 @@ func (c *Client) Put(table string, doc *document.Document) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(http.MethodPut, server.RecordPath(table, doc.ID), body, false)
+	resp, err := c.doRouted(http.MethodPut, server.RecordPath(table, doc.ID), body, false, doc.ID)
 	if err != nil {
 		return err
 	}
@@ -723,7 +870,7 @@ func (c *Client) Update(table, id string, spec store.UpdateSpec) (*document.Docu
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(http.MethodPatch, server.RecordPath(table, id), body, false)
+	resp, err := c.doRouted(http.MethodPatch, server.RecordPath(table, id), body, false, id)
 	if err != nil {
 		return nil, err
 	}
@@ -741,7 +888,7 @@ func (c *Client) Update(table, id string, spec store.UpdateSpec) (*document.Docu
 
 // Delete removes a record.
 func (c *Client) Delete(table, id string) error {
-	resp, err := c.do(http.MethodDelete, server.RecordPath(table, id), nil, false)
+	resp, err := c.doRouted(http.MethodDelete, server.RecordPath(table, id), nil, false, id)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,41 @@
+package cluster_test
+
+// Sharded write-path benchmark: parallel upserts through the router at
+// 1 vs 4 shards. The per-shard commit pipelines are the whole point of
+// the subsystem, so this is the smoke CI runs to catch a sharded write
+// path that stops scaling (or stops working).
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"quaestor/internal/cluster"
+	"quaestor/internal/document"
+)
+
+func BenchmarkShardedWrite(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := cluster.MustOpen(cluster.Options{Shards: shards})
+			defer r.Close()
+			if err := r.CreateTable("docs"); err != nil {
+				b.Fatal(err)
+			}
+			var seed int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(atomic.AddInt64(&seed, 1)))
+				for pb.Next() {
+					id := fmt.Sprintf("k%06d", rng.Intn(1<<16))
+					doc := document.New(id, map[string]any{"v": int64(rng.Intn(100))})
+					if err := r.Put("docs", doc); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

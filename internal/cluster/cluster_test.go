@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+)
+
+func TestShardMapDeterministicAndBalanced(t *testing.T) {
+	a := NewShardMap(4)
+	b := NewShardMap(4)
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		sa, sb := a.Shard(id), b.Shard(id)
+		if sa != sb {
+			t.Fatalf("Shard(%q): %d vs %d — placement is not deterministic", id, sa, sb)
+		}
+		if sa < 0 || sa >= 4 {
+			t.Fatalf("Shard(%q) = %d out of range", id, sa)
+		}
+		counts[sa]++
+	}
+	// Consistent hashing with 64 vnodes per shard keeps the split within a
+	// few percent of even; require each shard to own at least half its
+	// fair share so a broken ring (everything on one shard) fails loudly.
+	for s, n := range counts {
+		if n < 10000/4/2 {
+			t.Errorf("shard %d owns %d of 10000 ids — ring badly skewed (%v)", s, n, counts)
+		}
+	}
+}
+
+func TestShardMapSingleShardFastPath(t *testing.T) {
+	m := NewShardMap(1)
+	for _, id := range []string{"", "a", "doc-99"} {
+		if got := m.Shard(id); got != 0 {
+			t.Errorf("1-shard map placed %q on shard %d", id, got)
+		}
+	}
+}
+
+func TestShardMapWireRoundTrip(t *testing.T) {
+	m := NewShardMap(4)
+	m.Nodes = []string{"http://n0", "http://n1", "http://n2", "http://n3"}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseShardMap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Shards != m.Shards || got.VNodes != m.VNodes {
+		t.Errorf("round trip changed parameters: %+v vs %+v", got, m)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("k%d", i)
+		if m.Shard(id) != got.Shard(id) {
+			t.Fatalf("wire-form map disagrees on %q", id)
+		}
+	}
+	if u := got.NodeURL(2); u != "http://n2" {
+		t.Errorf("NodeURL(2) = %q", u)
+	}
+	if u := got.NodeURL(7); u != "" {
+		t.Errorf("NodeURL out of range = %q, want empty", u)
+	}
+	if _, err := ParseShardMap([]byte(`{"epoch":1,"shards":0}`)); err == nil {
+		t.Error("ParseShardMap accepted a 0-shard map")
+	}
+}
+
+func newTestRouter(t *testing.T, shards int) *Router {
+	t.Helper()
+	r := MustOpen(Options{Shards: shards})
+	t.Cleanup(r.Close)
+	if err := r.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterRoutesPointOpsToOwningShard(t *testing.T) {
+	r := newTestRouter(t, 4)
+	const n = 200
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("d%d", i)
+		if err := r.Insert("docs", document.New(id, map[string]any{"v": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for s, st := range r.Stores() {
+		c, err := st.Count("docs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c
+		// Every doc on this shard must hash here.
+		docs, err := st.ScanQuery(query.New("docs", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range docs {
+			if own := r.ShardFor(d.ID); own != s {
+				t.Errorf("doc %s lives on shard %d but hashes to %d", d.ID, s, own)
+			}
+		}
+	}
+	if total != n {
+		t.Errorf("shard counts sum to %d, want %d", total, n)
+	}
+	if c, err := r.Count("docs"); err != nil || c != n {
+		t.Errorf("router Count = %d, %v", c, err)
+	}
+	// Point reads route to the owner; updates and deletes too.
+	if d, err := r.Get("docs", "d7"); err != nil || d.ID != "d7" {
+		t.Fatalf("Get d7: %v, %v", d, err)
+	}
+	if err := r.Delete("docs", "d7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("docs", "d7"); err == nil {
+		t.Error("d7 still readable after routed delete")
+	}
+}
+
+func TestRouterDDLFansOutToEveryShard(t *testing.T) {
+	r := newTestRouter(t, 3)
+	if err := r.CreateIndex("docs", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for s, st := range r.Stores() {
+		idx, err := st.Indexes("docs")
+		if err != nil || len(idx) != 1 || idx[0] != "v" {
+			t.Errorf("shard %d indexes = %v, %v", s, idx, err)
+		}
+		if got := st.Tables(); len(got) != 1 || got[0] != "docs" {
+			t.Errorf("shard %d tables = %v", s, got)
+		}
+	}
+	if idx, err := r.Indexes("docs"); err != nil || len(idx) != 1 {
+		t.Errorf("router Indexes = %v, %v", idx, err)
+	}
+}
+
+func TestRouterScatterGatherMatchesSingleShard(t *testing.T) {
+	sharded := newTestRouter(t, 4)
+	single := newTestRouter(t, 1)
+	for i := 0; i < 300; i++ {
+		doc := document.New(fmt.Sprintf("d%03d", i), map[string]any{
+			"v": int64(i % 17), "grp": fmt.Sprintf("g%d", i%5),
+		})
+		if err := sharded.Insert("docs", doc.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Insert("docs", doc.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []*query.Query{
+		query.New("docs", nil),
+		query.New("docs", query.Eq("grp", "g2")),
+		query.New("docs", query.Gte("v", int64(8))).Sorted(query.SortKey{Path: "v", Desc: true}),
+		query.New("docs", nil).Sorted(query.SortKey{Path: "v"}).Sliced(10, 25),
+		query.New("docs", query.Lt("v", int64(5))).Sliced(3, 7),
+	}
+	for _, q := range queries {
+		want, err := single.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, plan, err := sharded.QueryPlanned(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d docs, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].Version != want[i].Version {
+				t.Fatalf("%s: row %d = %s/v%d, want %s/v%d", q, i, got[i].ID, got[i].Version, want[i].ID, want[i].Version)
+			}
+		}
+		if len(got) > 0 && !strings.Contains(plan.Reason, "scatter-gather over 4 shards") {
+			t.Errorf("%s: plan reason %q lacks scatter annotation", q, plan.Reason)
+		}
+		if plan.RowsReturned != len(got) {
+			t.Errorf("%s: plan RowsReturned = %d, want %d", q, plan.RowsReturned, len(got))
+		}
+	}
+}
+
+func TestRouterExplainAnnotatesScatter(t *testing.T) {
+	r := newTestRouter(t, 2)
+	plan, err := r.Explain(query.New("docs", query.Eq("v", int64(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Reason, "scatter-gather over 2 shards") {
+		t.Errorf("Explain reason = %q", plan.Reason)
+	}
+}

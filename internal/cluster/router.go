@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+	"quaestor/internal/store"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Shards is the number of shard nodes (minimum 1).
+	Shards int
+	// Store is the per-shard store template. DataDir, when set, is the
+	// cluster root: shard i opens DataDir/shard-i with its own WAL and
+	// snapshot lineage.
+	Store store.Options
+}
+
+// Router owns the shard nodes of a single-process multi-shard cluster and
+// routes every operation: point ops to the owning shard's commit
+// pipeline, DDL to all shards, queries scatter-gather through the ordered
+// merge. The interface deliberately mirrors store.Store so the server can
+// front either; a multi-process router would keep the same surface and
+// swap the in-process store calls for shard-node RPCs.
+type Router struct {
+	smap   *ShardMap
+	stores []*store.Store
+}
+
+// Open opens (or recovers) every shard store. On error, already-opened
+// shards are closed.
+func Open(opts Options) (*Router, error) {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	r := &Router{smap: NewShardMap(n)}
+	for i := 0; i < n; i++ {
+		so := opts.Store
+		if so.DataDir != "" {
+			so.DataDir = filepath.Join(so.DataDir, fmt.Sprintf("shard-%d", i))
+		}
+		st, err := store.Open(&so)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("cluster: opening shard %d: %w", i, err)
+		}
+		r.stores = append(r.stores, st)
+	}
+	return r, nil
+}
+
+// MustOpen is Open for tests and in-memory setups; panics on error.
+func MustOpen(opts Options) *Router {
+	r, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Close closes every shard store.
+func (r *Router) Close() {
+	for _, st := range r.stores {
+		if st != nil {
+			st.Close()
+		}
+	}
+}
+
+// Map returns the cluster's shard map.
+func (r *Router) Map() *ShardMap { return r.smap }
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.stores) }
+
+// ShardFor returns the shard owning a document id.
+func (r *Router) ShardFor(id string) int { return r.smap.Shard(id) }
+
+// Store returns shard i's store (replication endpoints and tests need
+// direct access).
+func (r *Router) Store(i int) *store.Store { return r.stores[i] }
+
+// Stores returns all shard stores in shard order.
+func (r *Router) Stores() []*store.Store { return r.stores }
+
+// storeFor routes a document id to its owning shard's store.
+func (r *Router) storeFor(id string) *store.Store {
+	return r.stores[r.smap.Shard(id)]
+}
+
+// CreateTable creates the table on every shard (DDL fans out).
+func (r *Router) CreateTable(name string) error {
+	for _, st := range r.stores {
+		if err := st.CreateTable(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateIndex creates the index on every shard. Each shard sequences the
+// DDL through its own commit pipeline, so per-shard replicas learn it
+// live.
+func (r *Router) CreateIndex(table, path string) error {
+	for _, st := range r.stores {
+		if err := st.CreateIndex(table, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables returns the table names (identical on every shard; shard 0
+// answers).
+func (r *Router) Tables() []string { return r.stores[0].Tables() }
+
+// Indexes returns a table's indexed paths (identical on every shard).
+func (r *Router) Indexes(table string) ([]string, error) { return r.stores[0].Indexes(table) }
+
+// Insert routes the document to its owning shard's commit pipeline.
+func (r *Router) Insert(table string, doc *document.Document) error {
+	return r.storeFor(doc.ID).Insert(table, doc)
+}
+
+// Put routes the document to its owning shard.
+func (r *Router) Put(table string, doc *document.Document) error {
+	return r.storeFor(doc.ID).Put(table, doc)
+}
+
+// Update routes the partial update to the owning shard.
+func (r *Router) Update(table, id string, spec store.UpdateSpec) (*document.Document, error) {
+	return r.storeFor(id).Update(table, id, spec)
+}
+
+// Delete routes the delete to the owning shard.
+func (r *Router) Delete(table, id string) error {
+	return r.storeFor(id).Delete(table, id)
+}
+
+// Get reads the document directly from its owning shard.
+func (r *Router) Get(table, id string) (*document.Document, error) {
+	return r.storeFor(id).Get(table, id)
+}
+
+// Count sums the table's document count across shards.
+func (r *Router) Count(table string) (int, error) {
+	total := 0
+	for _, st := range r.stores {
+		n, err := st.Count(table)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// LastSeqs returns every shard's newest assigned sequence, in shard
+// order. Shard sequence spaces are independent — cross-shard positions
+// are vectors, never a single number.
+func (r *Router) LastSeqs() []uint64 {
+	seqs := make([]uint64, len(r.stores))
+	for i, st := range r.stores {
+		seqs[i] = st.LastSeq()
+	}
+	return seqs
+}
+
+// QueryStream scatters q to every shard as a streaming cursor and gathers
+// through the ordered k-way merge. Each shard executes the sub-query
+// window [0, offset+limit) — per-shard early termination — and emits in
+// q.Less order (the executor's contract), so the merge plus the global
+// OFFSET/LIMIT window reproduces a single node's result byte for byte.
+// The returned cursor's plan aggregates per-shard execution stats.
+func (r *Router) QueryStream(q *query.Query) (*store.Cursor, error) {
+	if len(r.stores) == 1 {
+		return r.stores[0].QueryStream(q)
+	}
+	sub := q
+	if q.Offset > 0 {
+		// Every shard must produce the first offset+limit rows: any of
+		// them could hold the entire global window.
+		sub = q.Sliced(0, subLimit(q))
+	}
+	lists := make([][]*document.Document, len(r.stores))
+	plans := make([]query.Plan, len(r.stores))
+	errs := make([]error, len(r.stores))
+	var wg sync.WaitGroup
+	for i, st := range r.stores {
+		wg.Add(1)
+		go func(i int, st *store.Store) {
+			defer wg.Done()
+			cur, err := st.QueryStream(sub)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			docs := make([]*document.Document, 0, cur.Remaining())
+			for {
+				d, ok := cur.NextShared()
+				if !ok {
+					break
+				}
+				docs = append(docs, d)
+			}
+			lists[i] = docs
+			plans[i] = cur.Plan()
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := store.MergeOrdered(q, lists)
+	plan := plans[0]
+	for _, p := range plans[1:] {
+		plan.RowsExamined += p.RowsExamined
+	}
+	plan.RowsReturned = len(merged)
+	plan.Reason = fmt.Sprintf("scatter-gather over %d shards; per-shard: %s", len(r.stores), plan.Reason)
+	return store.NewCursor(plan, merged), nil
+}
+
+// subLimit is the per-shard window for a scattered query: offset+limit
+// rows when the query is bounded, unbounded otherwise.
+func subLimit(q *query.Query) int {
+	if q.Limit <= 0 {
+		return 0
+	}
+	return q.Offset + q.Limit
+}
+
+// QueryPlanned scatters q and returns cloned results plus the aggregated
+// cluster-level plan.
+func (r *Router) QueryPlanned(q *query.Query) ([]*document.Document, query.Plan, error) {
+	cur, err := r.QueryStream(q)
+	if err != nil {
+		return nil, query.Plan{}, err
+	}
+	docs := make([]*document.Document, 0, cur.Remaining())
+	for {
+		d, ok := cur.Next()
+		if !ok {
+			break
+		}
+		docs = append(docs, d)
+	}
+	return docs, cur.Plan(), nil
+}
+
+// Query scatters q and returns cloned results.
+func (r *Router) Query(q *query.Query) ([]*document.Document, error) {
+	docs, _, err := r.QueryPlanned(q)
+	return docs, err
+}
+
+// ScanQuery is the materializing cross-shard baseline: gather every
+// shard's unwindowed candidates, then apply filter/sort/window globally.
+// Correctness oracle for the property tests and experiments.
+func (r *Router) ScanQuery(q *query.Query) ([]*document.Document, error) {
+	if len(r.stores) == 1 {
+		return r.stores[0].ScanQuery(q)
+	}
+	var all []*document.Document
+	unwindowed := query.New(q.Table, q.Predicate)
+	for _, st := range r.stores {
+		docs, err := st.ScanQuery(unwindowed)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, docs...)
+	}
+	return q.Apply(all), nil
+}
+
+// Explain plans q on shard 0 and annotates the scatter. Placement is
+// identical across shards (same tables, same indexes), so one shard's
+// plan speaks for all.
+func (r *Router) Explain(q *query.Query) (query.Plan, error) {
+	plan, err := r.stores[0].Explain(q)
+	if err != nil {
+		return plan, err
+	}
+	if len(r.stores) > 1 {
+		plan.Reason = fmt.Sprintf("scatter-gather over %d shards; per-shard: %s", len(r.stores), plan.Reason)
+	}
+	return plan, nil
+}

@@ -47,6 +47,12 @@ const (
 	OpInsert OpType = iota
 	OpUpdate
 	OpDelete
+	// OpCreateIndex is sequenced DDL: an index creation that consumed a
+	// slot in the global write order, so replicas and late subscribers
+	// learn new indexes live, in position, instead of only via
+	// re-bootstrap. DDL events carry no document — After is nil and Path
+	// names the indexed field.
+	OpCreateIndex
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +64,8 @@ func (o OpType) String() string {
 		return "update"
 	case OpDelete:
 		return "delete"
+	case OpCreateIndex:
+		return "create-index"
 	default:
 		return fmt.Sprintf("OpType(%d)", int(o))
 	}
@@ -83,11 +91,20 @@ type Event struct {
 	// are deep copies and safe to retain.
 	Before *document.Document
 	After  *document.Document
-	Time   time.Time
+	// Path is the indexed field path for OpCreateIndex events; empty on
+	// document events.
+	Path string
+	Time time.Time
 }
 
-// Key returns the record's cache/EBF key ("table/id").
-func (e *Event) Key() string { return e.Table + "/" + e.After.ID }
+// Key returns the record's cache/EBF key ("table/id"). DDL events carry
+// no document; their key is the table-level DDL key.
+func (e *Event) Key() string {
+	if e.After == nil {
+		return e.Table + "/#index:" + e.Path
+	}
+	return e.Table + "/" + e.After.ID
+}
 
 // Policy selects how a subscriber behaves when it cannot keep up.
 type Policy int

@@ -1,0 +1,199 @@
+// Topology grid: sharded scale-out's reproducible perf trajectory. A
+// declarative grid of (shard count × workload mix) cells, each driving
+// the cluster router with parallel workers and measuring aggregate
+// throughput, so the contention relief from per-shard commit pipelines
+// shows up as a speedup column against the 1-shard baseline — and
+// regressions show up as a diff in the machine-readable record
+// (BENCH_<pr>.json).
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"quaestor/internal/cluster"
+	"quaestor/internal/document"
+	"quaestor/internal/metrics"
+	"quaestor/internal/query"
+)
+
+// topologyDocs is the full-scale preloaded corpus per topology; workers
+// then upsert/read/query over this keyspace so every op hits live data.
+const topologyDocs = 20_000
+
+// topologyShards is the scale-out axis; 1 shard is the baseline every
+// other row's speedup is measured against.
+var topologyShards = []int{1, 2, 4}
+
+// topologyParallelism multiplies GOMAXPROCS into the worker count, so the
+// commit pipeline sees genuinely concurrent writers (and contended locks)
+// even on small CI machines.
+const topologyParallelism = 4
+
+// topologyMix is one workload blend: writePct upserts, queryPct
+// scatter-gather top-10 queries, the remainder routed point reads.
+type topologyMix struct {
+	name     string
+	writePct int
+	queryPct int
+}
+
+var topologyMixes = []topologyMix{
+	{"write", 100, 0},       // pure write pressure: commit-pipeline contention
+	{"mixed", 50, 0},        // half point reads: shard locks shared with readers
+	{"write+query", 90, 10}, // scatter-gather in the hot path
+}
+
+// TopologyCell is one measured grid point.
+type TopologyCell struct {
+	Shards    int     `json:"shards"`
+	Mix       string  `json:"mix"`
+	WritePct  int     `json:"writePct"`
+	QueryPct  int     `json:"queryPct"`
+	Workers   int     `json:"workers"`
+	NsOp      int64   `json:"nsOp"`
+	OpsPerSec float64 `json:"opsPerSec"`
+	// Speedup is this cell's throughput over the 1-shard cell of the same
+	// mix — the contention-relief headline.
+	Speedup float64 `json:"speedupVs1Shard"`
+}
+
+// TopologyResult is the full grid run, JSON-marshalable for BENCH files.
+type TopologyResult struct {
+	Docs  int            `json:"docs"`
+	Cells []TopologyCell `json:"cells"`
+}
+
+// topologyRouter opens an in-memory cluster of the given width and
+// preloads the corpus: sequential rank (range/sort axis), 16 groups.
+func topologyRouter(shards, docs int) (*cluster.Router, error) {
+	r := cluster.MustOpen(cluster.Options{Shards: shards})
+	if err := r.CreateTable("docs"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < docs; i++ {
+		doc := document.New(fmt.Sprintf("k%06d", i), map[string]any{
+			"rank": int64(i),
+			"grp":  fmt.Sprintf("g%02d", i%16),
+		})
+		if err := r.Insert("docs", doc); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.CreateIndex("docs", "rank"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Topology measures every (shards × mix) cell at the given scale.
+func Topology(sc Scale) (*TopologyResult, error) {
+	docs := sc.count(topologyDocs)
+	result := &TopologyResult{Docs: docs}
+	baseline := map[string]float64{}
+	for _, shards := range topologyShards {
+		r, err := topologyRouter(shards, docs)
+		if err != nil {
+			return nil, err
+		}
+		for _, mix := range topologyMixes {
+			var seed int64
+			res := testing.Benchmark(func(b *testing.B) {
+				b.SetParallelism(topologyParallelism)
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(atomic.AddInt64(&seed, 1)))
+					for pb.Next() {
+						id := fmt.Sprintf("k%06d", rng.Intn(docs))
+						switch p := rng.Intn(100); {
+						case p < mix.writePct:
+							doc := document.New(id, map[string]any{
+								"rank": int64(rng.Intn(docs)),
+								"grp":  fmt.Sprintf("g%02d", rng.Intn(16)),
+							})
+							if err := r.Put("docs", doc); err != nil {
+								b.Error(err)
+								return
+							}
+						case p < mix.writePct+mix.queryPct:
+							q := query.New("docs", query.Gte("rank", int64(rng.Intn(docs)))).
+								Sorted(query.Desc("rank")).Sliced(0, 10)
+							cur, err := r.QueryStream(q)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							for {
+								if _, ok := cur.Next(); !ok {
+									break
+								}
+							}
+						default:
+							// Preloaded ids are never deleted: a miss is a bug.
+							if _, err := r.Get("docs", id); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				})
+			})
+			cell := TopologyCell{
+				Shards:   shards,
+				Mix:      mix.name,
+				WritePct: mix.writePct,
+				QueryPct: mix.queryPct,
+				Workers:  topologyParallelism * runtime.GOMAXPROCS(0),
+				NsOp:     res.NsPerOp(),
+			}
+			if cell.NsOp > 0 {
+				cell.OpsPerSec = 1e9 / float64(cell.NsOp)
+			}
+			if shards == 1 {
+				baseline[mix.name] = cell.OpsPerSec
+			}
+			if base := baseline[mix.name]; base > 0 {
+				cell.Speedup = cell.OpsPerSec / base
+			}
+			result.Cells = append(result.Cells, cell)
+		}
+		r.Close()
+	}
+	return result, nil
+}
+
+// Table renders the grid as the summary table the bench runner prints.
+func (r *TopologyResult) Table() string {
+	tbl := metrics.NewTable("shards", "mix", "workers", "ns/op", "ops/sec", "vs-1-shard")
+	for _, c := range r.Cells {
+		tbl.AddRow(fmt.Sprintf("%d", c.Shards), c.Mix, fmt.Sprintf("%d", c.Workers),
+			fmtNs(c.NsOp), fmt.Sprintf("%.0f", c.OpsPerSec), fmt.Sprintf("%.2fx", c.Speedup))
+	}
+	return tbl.String()
+}
+
+// TopologyReport runs the grid, optionally writes the machine-readable
+// JSON record to outPath, and returns the formatted summary.
+func TopologyReport(sc Scale, outPath string) string {
+	r, err := Topology(sc)
+	if err != nil {
+		return fmt.Sprintf("topology failed: %v\n", err)
+	}
+	out := section(fmt.Sprintf("Topology grid — throughput vs shard count (%d docs preloaded)", r.Docs), r.Table())
+	if outPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			out += fmt.Sprintf("write %s: %v\n", outPath, err)
+		} else {
+			out += fmt.Sprintf("wrote %s\n", outPath)
+		}
+	}
+	return out
+}

@@ -120,6 +120,10 @@ type Registration struct {
 	// AsOfSeq is the change-stream sequence number the initial evaluation
 	// reflects. Replay events with Seq > AsOfSeq close the activation gap.
 	AsOfSeq uint64
+	// AsOfSeqs carries per-object-row sequence floors for sharded
+	// deployments, where each row follows one shard's independent Seq
+	// space (indexed by row; missing/short slices fall back to AsOfSeq).
+	AsOfSeqs []uint64
 	// Replay holds recent change events to re-process on activation
 	// ("all recently received objects are replayed for a query when it is
 	// installed").
@@ -151,6 +155,13 @@ type Config struct {
 	// query — the O(N·Q) baseline. Benchmarks use it to measure the
 	// candidate-pruning speedup.
 	DisableQueryIndex bool
+	// Placement overrides the object-partition row for a document id
+	// (result is taken modulo ObjectPartitions). A sharded deployment
+	// passes the cluster ShardMap's placement so each row consumes
+	// exactly one shard's ordered change stream — the paper's
+	// query×object matrix keyed off the same shard map that routes
+	// writes. Nil: FNV hash of the id.
+	Placement func(docID string) int
 	// Clock supplies timestamps (default time.Now).
 	Clock func() time.Time
 }
@@ -171,6 +182,7 @@ func (c *Config) withDefaults() Config {
 	}
 	out.MaxQueries = c.MaxQueries
 	out.DisableQueryIndex = c.DisableQueryIndex
+	out.Placement = c.Placement
 	if c.Clock != nil {
 		out.Clock = c.Clock
 	}
@@ -256,6 +268,9 @@ func (c *Cluster) queryColumn(queryKey string) int {
 }
 
 func (c *Cluster) objectRow(docID string) int {
+	if c.cfg.Placement != nil {
+		return c.cfg.Placement(docID) % c.cfg.ObjectPartitions
+	}
 	return int(hash32(docID) % uint32(c.cfg.ObjectPartitions))
 }
 
@@ -322,19 +337,30 @@ func (c *Cluster) Activate(reg Registration) error {
 		row := c.objectRow(d.ID)
 		byRow[row] = append(byRow[row], d)
 	}
+	rowAsOf := func(row int) uint64 {
+		if row < len(reg.AsOfSeqs) {
+			return reg.AsOfSeqs[row]
+		}
+		return reg.AsOfSeq
+	}
 	for row := 0; row < c.cfg.ObjectPartitions; row++ {
 		c.sendMsg(c.nodes[row][col], nodeMsg{activate: &nodeActivation{
 			q:       reg.Query,
 			mask:    reg.Mask,
 			initial: byRow[row],
-			asOf:    reg.AsOfSeq,
+			asOf:    rowAsOf(row),
 		}})
 	}
 	// Replay recent events through the normal ingestion path; the grid
-	// routes them to the right cells. Events at or before AsOfSeq are
-	// already reflected in InitialMatches.
+	// routes them to the right cells. Events at or before the row's floor
+	// are already reflected in InitialMatches. Floors are per row: in a
+	// sharded deployment each row follows one shard's independent Seq
+	// space, so a single global floor would over- or under-replay.
 	for _, ev := range reg.Replay {
-		if ev.Seq > reg.AsOfSeq {
+		if ev.After == nil {
+			continue // sequenced DDL: no document to match
+		}
+		if ev.Seq > rowAsOf(c.objectRow(ev.After.ID)) {
 			c.Ingest(ev)
 		}
 	}
@@ -372,6 +398,9 @@ func (c *Cluster) Deactivate(queryKey string) error {
 // now that the store's commit pipeline delivers events in strict global
 // Seq order.
 func (c *Cluster) Ingest(ev store.ChangeEvent) {
+	if ev.After == nil {
+		return // sequenced DDL rides the stream but carries no document
+	}
 	c.ingested.Add(1)
 	row := c.objectRow(ev.After.ID)
 	for _, n := range c.nodes[row] {

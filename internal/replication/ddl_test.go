@@ -1,0 +1,110 @@
+package replication_test
+
+// Replicated DDL: CreateIndex is sequenced through the commit pipeline,
+// so a replica attached BEFORE the index exists learns it live from the
+// stream — no re-bootstrap — and maintains it for its own planner.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"quaestor/internal/document"
+	"quaestor/internal/query"
+)
+
+func TestReplicatedDDLArrivesLive(t *testing.T) {
+	for _, mode := range []string{"memory", "durable"} {
+		t.Run(mode, func(t *testing.T) {
+			dir, rdir := "", ""
+			if mode == "durable" {
+				dir, rdir = t.TempDir(), t.TempDir()
+			}
+			p := startPrimary(t, dir, 1<<12)
+			if err := p.db.CreateTable("docs"); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				doc := document.New(fmt.Sprintf("k%02d", i), map[string]any{"v": int64(i % 7)})
+				if err := p.db.Insert("docs", doc); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Attach first, index later: the definition must arrive through
+			// the live stream, not the bootstrap snapshot.
+			repl := startReplica(t, p.ts.URL, rdir)
+			waitConverged(t, repl, p.db, 10*time.Second)
+			if idx, err := repl.Store().Indexes("docs"); err != nil || len(idx) != 0 {
+				t.Fatalf("replica has indexes %v (%v) before the primary created any", idx, err)
+			}
+
+			if err := p.db.CreateIndex("docs", "v"); err != nil {
+				t.Fatal(err)
+			}
+			// More writes after the DDL: they must index on the replica too.
+			for i := 40; i < 80; i++ {
+				doc := document.New(fmt.Sprintf("k%02d", i), map[string]any{"v": int64(i % 7)})
+				if err := p.db.Insert("docs", doc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitConverged(t, repl, p.db, 10*time.Second)
+
+			idx, err := repl.Store().Indexes("docs")
+			if err != nil || len(idx) != 1 || idx[0] != "v" {
+				t.Fatalf("replica indexes = %v, %v — sequenced DDL did not arrive", idx, err)
+			}
+			assertStateEqual(t, p.db, repl.Store())
+
+			// The replicated index is live: both planners pick it and agree.
+			q := query.New("docs", query.Eq("v", int64(3)))
+			rdocs, rplan, err := repl.Store().QueryPlanned(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pdocs, pplan, err := p.db.QueryPlanned(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rplan.Kind != pplan.Kind {
+				t.Errorf("plan divergence: replica %v, primary %v", rplan.Kind, pplan.Kind)
+			}
+			if len(rdocs) != len(pdocs) {
+				t.Errorf("indexed query: replica %d docs, primary %d", len(rdocs), len(pdocs))
+			}
+		})
+	}
+}
+
+// TestReplicatedDDLSurvivesRestart: a durable replica that applied a
+// sequenced CreateIndex recovers it from its own log after restart,
+// without consulting the primary.
+func TestReplicatedDDLSurvivesRestart(t *testing.T) {
+	dir, rdir := t.TempDir(), t.TempDir()
+	p := startPrimary(t, dir, 1<<12)
+	if err := p.db.CreateTable("docs"); err != nil {
+		t.Fatal(err)
+	}
+	repl := startReplica(t, p.ts.URL, rdir)
+	if err := p.db.CreateIndex("docs", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.db.Insert("docs", document.New("a", map[string]any{"v": int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, repl, p.db, 10*time.Second)
+	wantSeq := repl.Store().LastSeq()
+	repl.Stop()
+	repl.Store().Close()
+
+	r2 := startReplica(t, p.ts.URL, rdir)
+	// Recovery alone must restore the index definition and position.
+	if got := r2.Store().LastSeq(); got < wantSeq {
+		t.Errorf("recovered LastSeq = %d, want >= %d", got, wantSeq)
+	}
+	idx, err := r2.Store().Indexes("docs")
+	if err != nil || len(idx) != 1 || idx[0] != "v" {
+		t.Errorf("recovered replica indexes = %v, %v", idx, err)
+	}
+}

@@ -49,6 +49,9 @@ func (sl *shadowLog) stateAsOf(r uint64) map[string]map[string]*document.Documen
 		if ev.Seq > r {
 			break // events arrive in strict Seq order
 		}
+		if ev.After == nil {
+			continue // sequenced DDL (e.g. create-index) carries no document
+		}
 		tbl := state[ev.Table]
 		if tbl == nil {
 			tbl = map[string]*document.Document{}
@@ -71,7 +74,7 @@ func (sl *shadowLog) ackedMatches(table string, doc *document.Document) bool {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	for _, ev := range sl.events {
-		if ev.Op != store.OpDelete && ev.Table == table && ev.After.ID == doc.ID &&
+		if ev.Op != store.OpDelete && ev.Table == table && ev.After != nil && ev.After.ID == doc.ID &&
 			ev.After.Version == doc.Version && document.DeepEqual(ev.After.Fields, doc.Fields) {
 			return true
 		}
@@ -161,9 +164,9 @@ func TestFailoverPromote(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	p.close()      // connections die, then the store: acked events all reach the shadow
-	<-shadow.done  // shadow saw the full published prefix
-	wait()         // writers drain their errors
+	p.close()     // connections die, then the store: acked events all reach the shadow
+	<-shadow.done // shadow saw the full published prefix
+	wait()        // writers drain their errors
 
 	// Let the replica settle: any batch received before the cut finishes
 	// applying; after that its position is frozen.

@@ -37,6 +37,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -84,11 +85,17 @@ func AppendRecords(dst []wal.Record, events []commitlog.Event) []wal.Record {
 	for i := range events {
 		ev := &events[i]
 		rec := wal.Record{Seq: ev.Seq, Table: ev.Table}
-		if ev.Op == commitlog.OpDelete {
+		switch ev.Op {
+		case commitlog.OpDelete:
 			rec.Kind = wal.KindDelete
 			rec.ID = ev.After.ID
 			rec.Version = ev.After.Version
-		} else {
+		case commitlog.OpCreateIndex:
+			// Sequenced DDL rides the live stream in position, so a
+			// connected replica learns the index without re-bootstrap.
+			rec.Kind = wal.KindCreateIndex
+			rec.Path = ev.Path
+		default:
 			rec.Kind = wal.KindPut
 			rec.Doc = ev.After
 		}
@@ -125,6 +132,13 @@ type Options struct {
 	Client *http.Client
 	// Token is a bearer token for primaries with authorization enabled.
 	Token string
+	// Sharded selects one shard of a sharded primary: every replication
+	// request carries shard=Shard, and the replica follows exactly that
+	// shard's WAL, snapshot lineage, and commit pipeline. A sharded
+	// primary runs one Replica loop per shard.
+	Sharded bool
+	// Shard is the shard index this replica follows (used when Sharded).
+	Shard int
 	// MinBackoff/MaxBackoff bound the reconnect backoff (defaults
 	// 100ms/5s).
 	MinBackoff, MaxBackoff time.Duration
@@ -436,6 +450,13 @@ func (r *Replica) observe(primarySeq uint64) {
 }
 
 func (r *Replica) get(ctx context.Context, path string) (*http.Response, error) {
+	if r.opts.Sharded {
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		path += sep + "shard=" + strconv.Itoa(r.opts.Shard)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.Primary+path, nil)
 	if err != nil {
 		return nil, err
@@ -517,6 +538,8 @@ func (r *Replica) Promote() {
 type Status struct {
 	State   State  `json:"state"`
 	Primary string `json:"primary"`
+	// Shard is the primary shard this replica follows (-1 unsharded).
+	Shard int `json:"shard"`
 	// LastSeq is the newest sequence applied locally; PrimaryLastSeq the
 	// newest the primary has reported; LagSeq their difference.
 	LastSeq        uint64 `json:"lastSeq"`
@@ -551,9 +574,14 @@ func (r *Replica) Status() Status {
 	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	shard := -1
+	if r.opts.Sharded {
+		shard = r.opts.Shard
+	}
 	st := Status{
 		State:            r.state,
 		Primary:          r.opts.Primary,
+		Shard:            shard,
 		LastSeq:          r.db.LastSeq(),
 		PrimaryLastSeq:   r.primarySeq,
 		StalenessMs:      -1,

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"quaestor/internal/cluster"
+	"quaestor/internal/replication"
+	"quaestor/internal/store"
+)
+
+// Sharded-mode glue: when the server fronts a cluster.Router instead of a
+// single store, point ops route to the owning shard's commit pipeline,
+// queries scatter-gather, replication endpoints select a shard with
+// ?shard=i, and InvaliDB cell placement is keyed off the same ShardMap
+// that routes writes.
+
+// HeaderShardEpoch carries the server's shard-map epoch on every response
+// in sharded mode. Clients that cached an older map refetch
+// /v1/cluster/map and retry.
+const HeaderShardEpoch = "X-Quaestor-Shard-Epoch"
+
+// HeaderPrimary advertises the primary's base URL on every response a
+// replica serves, so a client whose write bounced with 503 (read-only
+// replica) can redirect the write to the primary and retry once.
+const HeaderPrimary = "X-Quaestor-Primary"
+
+// NewSharded assembles a server fronting a sharded cluster: one InvaliDB
+// object-partition row per shard (placement = the cluster ShardMap), the
+// invalidation pipeline attached to every shard's ordered change stream.
+func NewSharded(r *cluster.Router, opts *Options) *Server {
+	return newServer(r.Store(0), r, opts)
+}
+
+// dbFor returns the store owning a document id: the single store, or the
+// id's shard in sharded mode.
+func (s *Server) dbFor(id string) *store.Store {
+	if s.cluster != nil {
+		return s.cluster.Store(s.cluster.ShardFor(id))
+	}
+	return s.db
+}
+
+// seqPosition captures the change-stream position before a query
+// evaluates: the single store's LastSeq, plus the per-shard vector in
+// sharded mode (shard Seq spaces are independent).
+func (s *Server) seqPosition() (uint64, []uint64) {
+	if s.cluster != nil {
+		seqs := s.cluster.LastSeqs()
+		max := uint64(0)
+		for _, q := range seqs {
+			if q > max {
+				max = q
+			}
+		}
+		return max, seqs
+	}
+	return s.db.LastSeq(), nil
+}
+
+// withShardEpoch stamps every response with the shard-map epoch in
+// sharded mode (so clients can detect a stale cached map) and, on a
+// replica, with the primary's address (so bounced writes can redirect).
+// The replica hint is resolved per request: replicas attach after the
+// handler is built.
+func (s *Server) withShardEpoch(next http.Handler) http.Handler {
+	var epoch string
+	if s.cluster != nil {
+		epoch = strconv.FormatUint(s.cluster.Map().Epoch, 10)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if epoch != "" {
+			w.Header().Set(HeaderShardEpoch, epoch)
+		}
+		if repl := s.Replica(); repl != nil {
+			if p := repl.Status().Primary; p != "" {
+				w.Header().Set(HeaderPrimary, p)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleClusterMap serves GET /v1/cluster/map: the versioned shard map.
+// Unsharded servers answer a 1-shard map, so shard-aware clients work
+// against any topology.
+func (s *Server) handleClusterMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	m := cluster.NewShardMap(1)
+	if s.cluster != nil {
+		m = s.cluster.Map()
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// replStore resolves the store a replication request targets: ?shard=i in
+// sharded mode, the single store otherwise.
+func (s *Server) replStore(r *http.Request) (*store.Store, error) {
+	v := r.URL.Query().Get("shard")
+	if v == "" {
+		return s.db, nil
+	}
+	idx, err := strconv.Atoi(v)
+	if err != nil || idx < 0 {
+		return nil, badRequest("invalid shard %q", v)
+	}
+	if s.cluster == nil {
+		if idx != 0 {
+			return nil, badRequest("server is unsharded; shard %d does not exist", idx)
+		}
+		return s.db, nil
+	}
+	if idx >= s.cluster.NumShards() {
+		return nil, badRequest("shard %d out of range (%d shards)", idx, s.cluster.NumShards())
+	}
+	return s.cluster.Store(idx), nil
+}
+
+// AttachReplicas hands a sharded server the per-shard replicas it fronts
+// (index = shard).
+func (s *Server) AttachReplicas(rs []*replication.Replica) {
+	s.mu.Lock()
+	s.shardReplicas = rs
+	if len(rs) > 0 {
+		s.replica = rs[0]
+	}
+	s.mu.Unlock()
+}
+
+// ShardReplicas returns the attached per-shard replicas (nil unless this
+// server is a sharded replica).
+func (s *Server) ShardReplicas() []*replication.Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardReplicas
+}
+
+// ShardSection is one shard's slice of /v1/stats and
+// /v1/replication/status.
+type ShardSection struct {
+	Shard       int                    `json:"shard"`
+	LastSeq     uint64                 `json:"lastSeq"`
+	Pipeline    store.PipelineStats    `json:"pipeline"`
+	Durability  *store.DurabilityStats `json:"durability,omitempty"`
+	Replication *replication.Status    `json:"replication,omitempty"`
+}
+
+// ClusterSection is the sharded topology's slice of /v1/stats.
+type ClusterSection struct {
+	Epoch  uint64         `json:"epoch"`
+	Shards []ShardSection `json:"shards"`
+}
+
+// clusterSection builds the per-shard stats, or nil when unsharded.
+func (s *Server) clusterSection() *ClusterSection {
+	if s.cluster == nil {
+		return nil
+	}
+	reps := s.ShardReplicas()
+	sec := &ClusterSection{Epoch: s.cluster.Map().Epoch}
+	for i, st := range s.cluster.Stores() {
+		sh := ShardSection{
+			Shard:    i,
+			LastSeq:  st.LastSeq(),
+			Pipeline: st.PipelineStats(),
+		}
+		if ds, ok := st.DurabilityStats(); ok {
+			sh.Durability = &ds
+		}
+		if i < len(reps) && reps[i] != nil {
+			rs := reps[i].Status()
+			sh.Replication = &rs
+		}
+		sec.Shards = append(sec.Shards, sh)
+	}
+	return sec
+}

@@ -56,7 +56,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/schema/", s.handleSchema)
 	mux.HandleFunc("/v1/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/replication/", s.handleReplication)
-	return s.withAuth(mux)
+	mux.HandleFunc("/v1/cluster/map", s.handleClusterMap)
+	return s.withAuth(s.withShardEpoch(mux))
 }
 
 type httpError struct {
@@ -159,7 +160,13 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("invalid table name %q", table))
 		return
 	}
-	if err := s.db.CreateTable(table); err != nil {
+	var err error
+	if s.cluster != nil {
+		err = s.cluster.CreateTable(table)
+	} else {
+		err = s.db.CreateTable(table)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -221,6 +228,11 @@ type StatsResponse struct {
 	Pipeline    PipelineSection        `json:"pipeline"`
 	Durability  *store.DurabilityStats `json:"durability,omitempty"`
 	Replication *replication.Status    `json:"replication,omitempty"`
+	// Cluster carries the per-shard sections (pipeline, durability,
+	// replication, LastSeq) in sharded mode. Cluster-level query plan
+	// aggregation rides in the top-level Stats row counters: scattered
+	// queries sum per-shard RowsExamined/RowsReturned before recording.
+	Cluster *ClusterSection `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -231,6 +243,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PipelineStats: s.db.PipelineStats(),
 			SSEDropped:    s.sseDropped.Load(),
 		},
+		Cluster: s.clusterSection(),
 	}
 	if ds, ok := s.db.DurabilityStats(); ok {
 		resp.Durability = &ds
@@ -247,6 +260,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
+		return
+	}
+	if s.cluster != nil {
+		infos := make([]store.SnapshotInfo, 0, s.cluster.NumShards())
+		for _, st := range s.cluster.Stores() {
+			info, err := st.Snapshot()
+			if err != nil {
+				if errors.Is(err, store.ErrNotDurable) {
+					writeError(w, &httpError{http.StatusConflict, "store is in-memory; start the server with -data-dir"})
+					return
+				}
+				writeError(w, err)
+				return
+			}
+			infos = append(infos, info)
+		}
+		writeJSON(w, http.StatusOK, infos)
 		return
 	}
 	info, err := s.db.Snapshot()

@@ -99,13 +99,18 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
 		return
 	}
+	db, err := s.replStore(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Cache-Control", "no-store")
-	w.Header().Set(replication.HeaderLastSeq, strconv.FormatUint(s.db.LastSeq(), 10))
+	w.Header().Set(replication.HeaderLastSeq, strconv.FormatUint(db.LastSeq(), 10))
 	// Errors past this point cut the stream; the replica detects the
 	// truncation through the missing end frame.
 	dw := &deadlineWriter{w: w, rc: http.NewResponseController(w)}
-	if _, _, err := s.db.ExportSnapshot(dw); err != nil {
+	if _, _, err := db.ExportSnapshot(dw); err != nil {
 		return
 	}
 }
@@ -129,12 +134,17 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = r.RemoteAddr
 	}
+	db, err := s.replStore(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, &httpError{http.StatusInternalServerError, "streaming unsupported"})
 		return
 	}
-	sub, err := s.db.SubscribeFrom("replica:"+name, from)
+	sub, err := db.SubscribeFrom("replica:"+name, from)
 	if err != nil {
 		if errors.Is(err, commitlog.ErrSeqTruncated) {
 			writeJSON(w, http.StatusGone, map[string]string{"error": err.Error()})
@@ -157,7 +167,7 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	// replica, one conversion per committed batch.
 	buf := make([]wal.Record, 0, 256)
 	send := func(f replication.Frame) bool {
-		f.LastSeq = s.db.LastSeq()
+		f.LastSeq = db.LastSeq()
 		f.At = time.Now().UnixNano()
 		if err := enc.Encode(f); err != nil {
 			return false
@@ -204,7 +214,12 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("invalid after sequence %q", r.URL.Query().Get("after")))
 		return
 	}
-	exp, err := s.db.BeginWALExport(after)
+	db, err := s.replStore(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	exp, err := db.BeginWALExport(after)
 	if err != nil {
 		if errors.Is(err, store.ErrNotDurable) {
 			writeError(w, &httpError{http.StatusConflict, "primary is in-memory; bootstrap from a snapshot instead"})
@@ -226,10 +241,14 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 }
 
 // ReplicationRole is the /v1/replication/status body for a primary (a
-// replica answers with its full replication.Status instead).
+// replica answers with its full replication.Status instead; a sharded
+// replica answers with one Status per shard).
 type ReplicationRole struct {
 	Role    string `json:"role"`
 	LastSeq uint64 `json:"lastSeq"`
+	// ShardLastSeqs is the per-shard sequence vector on a sharded
+	// primary (absent on single-node deployments).
+	ShardLastSeqs []uint64 `json:"shardLastSeqs,omitempty"`
 }
 
 func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
@@ -238,16 +257,33 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Cache-Control", "no-store")
+	if reps := s.ShardReplicas(); len(reps) > 0 {
+		statuses := make([]replication.Status, len(reps))
+		for i, rep := range reps {
+			statuses[i] = rep.Status()
+		}
+		writeJSON(w, http.StatusOK, statuses)
+		return
+	}
 	if repl := s.Replica(); repl != nil {
 		writeJSON(w, http.StatusOK, repl.Status())
 		return
 	}
-	writeJSON(w, http.StatusOK, ReplicationRole{Role: "primary", LastSeq: s.db.LastSeq()})
+	last, vector := s.seqPosition()
+	writeJSON(w, http.StatusOK, ReplicationRole{Role: "primary", LastSeq: last, ShardLastSeqs: vector})
 }
 
 func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
+		return
+	}
+	if reps := s.ShardReplicas(); len(reps) > 0 {
+		for _, rep := range reps {
+			rep.Promote()
+		}
+		last, _ := s.seqPosition()
+		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "shards": len(reps), "lastSeq": last})
 		return
 	}
 	repl := s.Replica()
@@ -262,12 +298,35 @@ func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 // addReplicaHeaders stamps read responses with the staleness bound, so
 // clients of a replica know how far behind the primary their read may
 // be (the paper's Δ-atomicity reporting, extended to replica reads).
+// On a sharded replica the headers report the worst bound across all
+// shard followers — a read may have touched any of them.
 func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
-	repl := s.Replica()
-	if repl == nil {
-		return
+	var st replication.Status
+	if reps := s.ShardReplicas(); len(reps) > 0 {
+		st = reps[0].Status()
+		for _, rep := range reps[1:] {
+			cur := rep.Status()
+			if cur.StalenessMs > st.StalenessMs {
+				st.StalenessMs = cur.StalenessMs
+			}
+			if cur.LagSeq > st.LagSeq {
+				st.LagSeq = cur.LagSeq
+			}
+			if cur.State != st.State {
+				// Mixed per-shard states collapse to the least-caught-up
+				// one for the header; the status endpoint has the detail.
+				if cur.State != replication.StateStreaming {
+					st.State = cur.State
+				}
+			}
+		}
+	} else {
+		repl := s.Replica()
+		if repl == nil {
+			return
+		}
+		st = repl.Status()
 	}
-	st := repl.Status()
 	w.Header().Set("X-Quaestor-Replica", string(st.State))
 	if st.StalenessMs >= 0 {
 		w.Header().Set("X-Quaestor-Staleness-Ms", fmt.Sprintf("%.0f", st.StalenessMs))

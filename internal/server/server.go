@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quaestor/internal/cluster"
 	"quaestor/internal/document"
 	"quaestor/internal/ebf"
 	"quaestor/internal/invalidb"
@@ -153,12 +154,16 @@ type Stats struct {
 
 // Server is the Quaestor middleware instance.
 type Server struct {
-	opts   Options
-	db     *store.Store
-	coh    Coherence
-	est    *ttl.Estimator
-	active *ttl.ActiveList
-	inv    *invalidb.Cluster
+	opts Options
+	db   *store.Store
+	// cluster is non-nil in sharded mode: the router fronting N shard
+	// stores. db then aliases shard 0 for single-store-shaped paths; all
+	// routing-sensitive paths go through dbFor/cluster.
+	cluster *cluster.Router
+	coh     Coherence
+	est     *ttl.Estimator
+	active  *ttl.ActiveList
+	inv     *invalidb.Cluster
 
 	mu          sync.Mutex
 	purgers     []Purger
@@ -177,6 +182,9 @@ type Server struct {
 	// replica is non-nil when this server fronts a log-shipping replica
 	// (see AttachReplica); guarded by mu.
 	replica *replication.Replica
+	// shardReplicas holds the per-shard replica loops of a sharded
+	// replica (index = shard); guarded by mu.
+	shardReplicas []*replication.Replica
 
 	detachStore func()
 	notifyDone  chan struct{}
@@ -204,6 +212,10 @@ type Server struct {
 // New assembles a server around an existing document store. The server
 // owns an InvaliDB cluster and attaches it to the store's change stream.
 func New(db *store.Store, opts *Options) *Server {
+	return newServer(db, nil, opts)
+}
+
+func newServer(db *store.Store, router *cluster.Router, opts *Options) *Server {
 	o := opts.withDefaults()
 	ebfOpts := o.EBF
 	if ebfOpts == nil {
@@ -226,6 +238,16 @@ func New(db *store.Store, opts *Options) *Server {
 	if invCfg.Clock == nil {
 		invCfg.Clock = o.Clock
 	}
+	if router != nil && router.NumShards() > 1 {
+		// The paper's query×object matrix keyed off the shard map: one
+		// object-partition row per shard, placed by the same consistent
+		// hash that routes writes, so each row consumes exactly one
+		// shard's ordered change stream.
+		cp := *invCfg
+		cp.ObjectPartitions = router.NumShards()
+		cp.Placement = router.Map().Shard
+		invCfg = &cp
+	}
 	capacity := o.QueryCapacity
 	if capacity == 0 {
 		capacity = invCfg.MaxQueries
@@ -234,6 +256,7 @@ func New(db *store.Store, opts *Options) *Server {
 	s := &Server{
 		opts:       o,
 		db:         db,
+		cluster:    router,
 		coh:        ebf.NewPartitioned(ebfOpts),
 		est:        ttl.NewEstimator(ttlCfg),
 		active:     ttl.NewActiveList(o.ActiveListPartitions, capacity, o.Clock),
@@ -246,7 +269,21 @@ func New(db *store.Store, opts *Options) *Server {
 	for i := range s.planLatency {
 		s.planLatency[i] = metrics.NewHistogram()
 	}
-	s.detachStore = s.inv.AttachStore(db)
+	if router != nil {
+		// Every shard's ordered stream feeds the grid; each pump tracks
+		// its own shard's Seq space, so per-shard order assertions hold.
+		cancels := make([]func(), 0, router.NumShards())
+		for _, st := range router.Stores() {
+			cancels = append(cancels, s.inv.AttachStore(st))
+		}
+		s.detachStore = func() {
+			for _, c := range cancels {
+				c()
+			}
+		}
+	} else {
+		s.detachStore = s.inv.AttachStore(db)
+	}
 	go s.notificationLoop()
 	return s
 }
@@ -275,8 +312,11 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 }
 
-// Store exposes the underlying database.
+// Store exposes the underlying database (shard 0 in sharded mode).
 func (s *Server) Store() *store.Store { return s.db }
+
+// Cluster exposes the shard router, or nil on an unsharded server.
+func (s *Server) Cluster() *cluster.Router { return s.cluster }
 
 // Estimator exposes the TTL estimator (for the evaluation harness).
 func (s *Server) Estimator() *ttl.Estimator { return s.est }
@@ -313,9 +353,13 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// CreateIndex builds a secondary index on the underlying store; subsequent
-// queries sargable on the path route through it.
+// CreateIndex builds a secondary index on the underlying store (every
+// shard in sharded mode); subsequent queries sargable on the path route
+// through it.
 func (s *Server) CreateIndex(table, path string) error {
+	if s.cluster != nil {
+		return s.cluster.CreateIndex(table, path)
+	}
 	return s.db.CreateIndex(table, path)
 }
 
@@ -382,7 +426,7 @@ type ReadResult struct {
 // Read serves a record with its estimated TTL and reports the issued
 // expiration to the EBF.
 func (s *Server) Read(table, id string) (ReadResult, error) {
-	doc, err := s.db.Get(table, id)
+	doc, err := s.dbFor(id).Get(table, id)
 	if err != nil {
 		return ReadResult{}, err
 	}
@@ -435,10 +479,10 @@ func (s *Server) Query(q *query.Query) (QueryResult, error) {
 	s.mu.Unlock()
 
 	// Capture the change-stream position before evaluating so activation
-	// can replay the gap.
-	asOf := s.db.LastSeq()
+	// can replay the gap (a per-shard vector in sharded mode).
+	asOf, asOfs := s.seqPosition()
 	start := s.opts.Clock()
-	docs, plan, err := s.db.QueryPlanned(q)
+	docs, plan, err := s.queryPlanned(q)
 	if err != nil {
 		return QueryResult{}, err
 	}
@@ -473,7 +517,7 @@ func (s *Server) Query(q *query.Query) (QueryResult, error) {
 		return res, nil
 	}
 
-	if err := s.activateIfNeeded(q, asOf, rep); err != nil {
+	if err := s.activateIfNeeded(q, asOf, asOfs, rep); err != nil {
 		// Capacity exhausted in InvaliDB: serve uncached rather than risk
 		// stale results without invalidation detection.
 		if errors.Is(err, invalidb.ErrAtCapacity) {
@@ -514,7 +558,13 @@ func (s *Server) QueryStream(q *query.Query) (*store.Cursor, error) {
 	s.mu.Unlock()
 
 	start := s.opts.Clock()
-	cur, err := s.db.QueryStream(q)
+	var cur *store.Cursor
+	var err error
+	if s.cluster != nil {
+		cur, err = s.cluster.QueryStream(q)
+	} else {
+		cur, err = s.db.QueryStream(q)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -545,8 +595,18 @@ func (s *Server) chooseRepresentation(recordKeys []string) ttl.Representation {
 	})
 }
 
-// activateIfNeeded registers the query in InvaliDB exactly once.
-func (s *Server) activateIfNeeded(q *query.Query, asOf uint64, rep ttl.Representation) error {
+// queryPlanned evaluates q on the backing data plane: the single store,
+// or scatter-gather across the cluster.
+func (s *Server) queryPlanned(q *query.Query) ([]*document.Document, query.Plan, error) {
+	if s.cluster != nil {
+		return s.cluster.QueryPlanned(q)
+	}
+	return s.db.QueryPlanned(q)
+}
+
+// activateIfNeeded registers the query in InvaliDB exactly once. asOfs is
+// the per-shard sequence vector in sharded mode (nil unsharded).
+func (s *Server) activateIfNeeded(q *query.Query, asOf uint64, asOfs []uint64, rep ttl.Representation) error {
 	key := q.Key()
 	s.mu.Lock()
 	if s.registered[key] {
@@ -557,7 +617,14 @@ func (s *Server) activateIfNeeded(q *query.Query, asOf uint64, rep ttl.Represent
 
 	// InvaliDB needs the full predicate-level match set (for stateful
 	// queries the unwindowed set); evaluate without window clauses.
-	matches, err := s.db.Query(query.New(q.Table, q.Predicate))
+	unwindowed := query.New(q.Table, q.Predicate)
+	var matches []*document.Document
+	var err error
+	if s.cluster != nil {
+		matches, err = s.cluster.Query(unwindowed)
+	} else {
+		matches, err = s.db.Query(unwindowed)
+	}
 	if err != nil {
 		return err
 	}
@@ -565,12 +632,27 @@ func (s *Server) activateIfNeeded(q *query.Query, asOf uint64, rep ttl.Represent
 	if rep == ttl.IDList {
 		mask = invalidb.MaskIDList
 	}
+	var replay []store.ChangeEvent
+	if s.cluster != nil {
+		// Each shard's replay closes that shard's activation gap; the
+		// per-row floors in AsOfSeqs gate replay per shard.
+		for i, st := range s.cluster.Stores() {
+			from := uint64(0)
+			if i < len(asOfs) {
+				from = asOfs[i]
+			}
+			replay = append(replay, st.Replay(q.Table, from)...)
+		}
+	} else {
+		replay = s.db.Replay(q.Table, asOf)
+	}
 	err = s.inv.Activate(invalidb.Registration{
 		Query:          q,
 		Mask:           mask,
 		InitialMatches: matches,
 		AsOfSeq:        asOf,
-		Replay:         s.db.Replay(q.Table, asOf),
+		AsOfSeqs:       asOfs,
+		Replay:         replay,
 	})
 	if err != nil {
 		return err
@@ -596,7 +678,7 @@ func (s *Server) Insert(table string, doc *document.Document) error {
 	if err := s.validateDoc(table, doc); err != nil {
 		return err
 	}
-	if err := s.db.Insert(table, doc); err != nil {
+	if err := s.dbFor(doc.ID).Insert(table, doc); err != nil {
 		return err
 	}
 	s.afterWrite(table, doc.ID)
@@ -609,7 +691,7 @@ func (s *Server) Put(table string, doc *document.Document) error {
 	if err := s.validateDoc(table, doc); err != nil {
 		return err
 	}
-	if err := s.db.Put(table, doc); err != nil {
+	if err := s.dbFor(doc.ID).Put(table, doc); err != nil {
 		return err
 	}
 	s.afterWrite(table, doc.ID)
@@ -618,7 +700,7 @@ func (s *Server) Put(table string, doc *document.Document) error {
 
 // Update applies a partial update and runs record-level invalidation.
 func (s *Server) Update(table, id string, spec store.UpdateSpec) (*document.Document, error) {
-	doc, err := s.db.Update(table, id, spec)
+	doc, err := s.dbFor(id).Update(table, id, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +710,7 @@ func (s *Server) Update(table, id string, spec store.UpdateSpec) (*document.Docu
 
 // Delete removes a document and runs record-level invalidation.
 func (s *Server) Delete(table, id string) error {
-	if err := s.db.Delete(table, id); err != nil {
+	if err := s.dbFor(id).Delete(table, id); err != nil {
 		return err
 	}
 	s.afterWrite(table, id)

@@ -35,7 +35,8 @@ func (s *Subscription) Close() { s.cancel() }
 // active yet) and returns a live notification feed. Slow subscribers drop
 // events rather than stalling the pipeline.
 func (s *Server) Subscribe(q *query.Query) (*Subscription, error) {
-	if err := s.activateIfNeeded(q, s.db.LastSeq(), ttl.ObjectList); err != nil {
+	asOf, asOfs := s.seqPosition()
+	if err := s.activateIfNeeded(q, asOf, asOfs, ttl.ObjectList); err != nil {
 		return nil, err
 	}
 	key := q.Key()

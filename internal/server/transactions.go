@@ -64,7 +64,10 @@ func (s *Server) Commit(req TxnRequest) (TxnResult, error) {
 		if !ok {
 			return TxnResult{}, fmt.Errorf("server: malformed read-set key %q", key)
 		}
-		doc, err := s.db.Get(table, id)
+		// Routed per record: validation reads hit the owning shard. The
+		// process-wide txnMu still excludes concurrent commits, so BOCC
+		// semantics are unchanged under sharding.
+		doc, err := s.dbFor(id).Get(table, id)
 		switch {
 		case errors.Is(err, store.ErrNotFound):
 			if readVersion != 0 {

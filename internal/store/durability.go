@@ -164,8 +164,8 @@ func (s *Store) recover() error {
 	}
 	s.seq.Store(lastSeq)
 
-	// Rebuild secondary indexes through the regular CreateIndex path
-	// (s.wal is still nil here, so nothing is re-logged).
+	// Rebuild secondary indexes structurally (no re-logging, no
+	// re-sequencing — the DDL records replayed are already in the log).
 	nIdx := 0
 	for tbl, paths := range pendingIdx {
 		sorted := make([]string, 0, len(paths))
@@ -174,7 +174,7 @@ func (s *Store) recover() error {
 		}
 		sort.Strings(sorted)
 		for _, p := range sorted {
-			if err := s.CreateIndex(tbl, p); err != nil {
+			if _, err := s.buildIndex(tbl, p); err != nil {
 				return fmt.Errorf("store: rebuilding index %s:%s: %w", tbl, p, err)
 			}
 			nIdx++

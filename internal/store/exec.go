@@ -60,6 +60,22 @@ func (c *Cursor) NextShared() (*document.Document, bool) {
 	return d, true
 }
 
+// NewCursor wraps an already-computed result window and its plan in a
+// cursor. The cross-shard gather path (internal/cluster) merges per-shard
+// cursors and re-wraps the merged window; the documents follow the same
+// copy-on-write contract as store-produced cursors.
+func NewCursor(plan query.Plan, docs []*document.Document) *Cursor {
+	return &Cursor{plan: plan, docs: docs}
+}
+
+// MergeOrdered merges per-source lists that are each sorted by q.Less
+// into the query's global OFFSET/LIMIT window. Exported for the
+// cross-shard gather path, which merges per-shard cursor outputs exactly
+// like the executor merges per-shard range emissions.
+func MergeOrdered(q *query.Query, lists [][]*document.Document) []*document.Document {
+	return mergeOrdered(q, lists)
+}
+
 // QueryStream plans and executes q, returning a cursor over the result
 // window. Execution touches each shard once under its read lock; the
 // cursor itself is lock-free and single-consumer.

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"quaestor/internal/commitlog"
 	"quaestor/internal/document"
 	"quaestor/internal/index"
 	"quaestor/internal/wal"
@@ -530,9 +531,40 @@ func (s *Store) ApplyReplicated(recs []wal.Record) (applied int, err error) {
 			if _, err := getTable(rec.Table); err != nil {
 				return applied, err
 			}
-			// CreateIndex logs its own DDL record on durable stores.
-			if err := s.CreateIndex(rec.Table, rec.Path); err != nil {
+			if rec.Seq == 0 {
+				// Legacy unsequenced DDL (pre-sequencing segments,
+				// catch-up shipping): build idempotently and keep the
+				// unsequenced record in the local log.
+				added, err := s.buildIndex(rec.Table, rec.Path)
+				if err != nil {
+					return applied, err
+				}
+				if added && s.wal != nil {
+					last = s.wal.Enqueue(*rec)
+				}
+				break
+			}
+			// Sequenced DDL occupies a slot in the primary's write order:
+			// apply it exactly like a doc record — idempotent on
+			// re-delivery, advances the local sequence, re-logs at the
+			// primary's Seq, and publishes on the local pipeline.
+			prevSeq := s.seq.Load()
+			if rec.Seq <= prevSeq {
+				break // idempotent re-delivery (or already built locally)
+			}
+			if _, err := s.buildIndex(rec.Table, rec.Path); err != nil {
 				return applied, err
+			}
+			s.seq.Store(rec.Seq)
+			applied++
+			if s.wal != nil {
+				for q := prevSeq + 1; q < rec.Seq; q++ {
+					s.seqr.Skip(q)
+				}
+				ev := &ChangeEvent{Seq: rec.Seq, Table: rec.Table, Op: commitlog.OpCreateIndex, Path: rec.Path, Time: now}
+				last = s.wal.EnqueueWith(*rec, ev)
+			} else {
+				events = append(events, ChangeEvent{Seq: rec.Seq, Table: rec.Table, Op: commitlog.OpCreateIndex, Path: rec.Path, Time: now})
 			}
 		case wal.KindPut, wal.KindDelete:
 			t, err := getTable(rec.Table)

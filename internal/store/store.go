@@ -582,18 +582,56 @@ func (s *Store) Delete(tableName, id string) error {
 // consistent with concurrent writes without stopping the world. On durable
 // stores the index definition is logged, so restart rebuilds it.
 func (s *Store) CreateIndex(tableName, path string) error {
+	added, err := s.buildIndex(tableName, path)
+	if err != nil || !added {
+		return err
+	}
+	if s.seqr == nil {
+		// Recovery rebuild: the original DDL record is already in the
+		// log (or snapshot meta); nothing to sequence or re-log.
+		return nil
+	}
+	if s.readOnly.Load() {
+		// Replica-local DDL builds the index but must not consume the
+		// replicated sequence space — the primary's sequenced DDL record
+		// arrives (idempotently) through ApplyReplicated. Log unsequenced
+		// so the build survives a replica restart.
+		if s.wal != nil {
+			return s.wal.Append(wal.Record{Kind: wal.KindCreateIndex, Table: tableName, Path: path})
+		}
+		return nil
+	}
+	// Sequence the DDL through the commit pipeline like any write:
+	// replicas and all live subscribers learn the index in position,
+	// instead of only via shipped segments or re-bootstrap.
+	ev := &ChangeEvent{Table: tableName, Op: commitlog.OpCreateIndex, Path: path}
+	ev.Seq = s.seq.Add(1)
+	ev.Time = s.opts.Clock()
+	if s.wal != nil {
+		rec := wal.Record{Seq: ev.Seq, Kind: wal.KindCreateIndex, Table: tableName, Path: path}
+		return s.commit(ev, s.wal.EnqueueWith(rec, ev))
+	}
+	s.seqr.Publish(*ev)
+	return nil
+}
+
+// buildIndex installs and backfills the index structure without logging
+// or sequencing; it reports whether the index was new. CreateIndex wraps
+// it with pipeline sequencing, recovery and the replication applier call
+// it directly.
+func (s *Store) buildIndex(tableName, path string) (bool, error) {
 	if path == "" {
-		return fmt.Errorf("%w: empty index path", ErrBadUpdateSpec)
+		return false, fmt.Errorf("%w: empty index path", ErrBadUpdateSpec)
 	}
 	t, err := s.table(tableName)
 	if err != nil {
-		return err
+		return false, err
 	}
 	t.idxMu.Lock()
 	for _, p := range t.indexPaths {
 		if p == path {
 			t.idxMu.Unlock()
-			return nil
+			return false, nil
 		}
 	}
 	t.indexPaths = append(t.indexPaths, path)
@@ -611,10 +649,7 @@ func (s *Store) CreateIndex(tableName, path string) error {
 		}
 		sh.mu.Unlock()
 	}
-	if s.wal != nil {
-		return s.wal.Append(wal.Record{Kind: wal.KindCreateIndex, Table: tableName, Path: path})
-	}
-	return nil
+	return true, nil
 }
 
 // Indexes returns the sorted indexed field paths of a table.
