@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1, fig8a..fig8f, fig9, fig10, fig11, fig12, table1, ablation-coherence, ablation-ttl, durability, pipeline, querygrid, topology, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1, fig8a..fig8f, fig9, fig10, fig11, fig12, table1, ablation-coherence, ablation-ttl, durability, pipeline, querygrid, topology, readrouting, all)")
 	scale := flag.Float64("scale", 0.25, "experiment scale: 1.0 = paper parameters, smaller = shorter runs")
 	durable := flag.String("durable", "all", "durability experiment modes: all, memory, never, interval, always")
 	out := flag.String("out", "", "write the selected experiment's machine-readable record (BENCH JSON) to this path")
@@ -33,6 +33,7 @@ func main() {
 		"durability":         func() string { return experiments.Durability(sc, *durable) },
 		"querygrid":          func() string { return experiments.QueryGridReport(sc, *out) },
 		"topology":           func() string { return experiments.TopologyReport(sc, *out) },
+		"readrouting":        func() string { return experiments.ReadRoutingReport(sc, *out) },
 		"pipeline":           func() string { return experiments.Pipeline(sc) },
 		"fig1":               func() string { return experiments.Figure1() },
 		"fig8a":              func() string { return experiments.Figure8a(sc) },
@@ -55,7 +56,7 @@ func main() {
 		"fig1", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f",
 		"fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-coherence", "ablation-ttl", "ablation-est", "ablation-rep",
-		"durability", "pipeline", "querygrid", "topology",
+		"durability", "pipeline", "querygrid", "topology", "readrouting",
 	}
 
 	ids := strings.Split(*exp, ",")

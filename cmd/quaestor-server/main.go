@@ -28,6 +28,11 @@
 // (-replica-of with -shards N) runs one replication loop per shard
 // against the primary's per-shard streams (?shard=i).
 //
+// With -advertise-replicas (and optionally -advertise-primary) the node
+// publishes its read topology at GET /v1/cluster/replicas; SDK clients
+// dialed with DiscoverReplicas route staleness-bounded reads across the
+// advertised replica endpoints and fall back to the primary.
+//
 // Usage:
 //
 //	quaestor-server -addr :8080 -tables posts,users \
@@ -73,6 +78,8 @@ func main() {
 	autoSnapMB := flag.Int64("auto-snapshot-mb", 0, "snapshot automatically once the WAL reaches this many MiB (0 = manual snapshots only)")
 	replicaOf := flag.String("replica-of", "", "run as a read-only log-shipping replica of this primary base URL (e.g. http://primary:8080)")
 	replicaName := flag.String("replica-name", "", "replica id reported in the primary's pipeline stats (default: the listen address)")
+	advertisePrimary := flag.String("advertise-primary", "", "primary base URL advertised to clients via GET /v1/cluster/replicas (default: none)")
+	advertiseReplicas := flag.String("advertise-replicas", "", "comma-separated replica base URLs advertised via GET /v1/cluster/replicas for staleness-bounded read routing")
 	flag.Parse()
 
 	var mode server.CacheMode
@@ -131,6 +138,16 @@ func main() {
 		srv = server.New(router.Store(0), srvOpts)
 	}
 	defer srv.Close()
+
+	if *advertisePrimary != "" || *advertiseReplicas != "" {
+		var reps []string
+		for _, u := range strings.Split(*advertiseReplicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, u)
+			}
+		}
+		srv.SetReplicaEndpoints(*advertisePrimary, reps)
+	}
 
 	if *replicaOf != "" {
 		// Tables, indexes and documents all arrive through replication;

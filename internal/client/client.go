@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -74,6 +75,18 @@ type Options struct {
 	// DisableCache bypasses the local browser cache (the uncached
 	// baseline).
 	DisableCache bool
+	// ReplicaEndpoints lists replica base URLs bounded reads are routed
+	// across (see routing.go). Empty = every read goes to the primary.
+	ReplicaEndpoints []string
+	// DiscoverReplicas fetches the advertised read topology
+	// (/v1/cluster/replicas) at Dial time, best-effort: a deployment that
+	// advertises nothing (or an older server without the endpoint) just
+	// leaves routing off.
+	DiscoverReplicas bool
+	// MaxStaleness, when > 0, bounds every read by default (overridable
+	// per read via ReadOptions/WithMaxStaleness). Zero keeps reads
+	// unbounded — the SDK's original Δ-atomic behavior.
+	MaxStaleness time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -128,6 +141,15 @@ type Stats struct {
 	ShardMapRefreshes uint64
 	ShardRetries      uint64
 	PrimaryRedirects  uint64
+	// ReadsByTier attributes every served record read to the tier that
+	// answered it: primary, replica, or the client's own cache (browser
+	// cache + read-your-writes buffer). StalenessRetries counts bounded
+	// reads re-routed after a replica rejected (412) or answered over
+	// bound; EBFPiggybacks counts filter refreshes triggered by a
+	// replica-served response advertising a newer EBF generation.
+	ReadsByTier      TierCounts
+	StalenessRetries uint64
+	EBFPiggybacks    uint64
 }
 
 // ReplicaMeta is the replica annotation parsed off one response's
@@ -163,6 +185,13 @@ type Client struct {
 	lastReplica ReplicaMeta                   // newest replica annotation observed
 	smap        *cluster.ShardMap             // cached shard map (nil until a sharded server is seen)
 	stats       Stats
+
+	// Staleness-bounded read routing state (routing.go).
+	replicas      []*endpointState   // replica endpoints, with observed health
+	minSeqs       map[string]uint64  // per-key read-your-writes low-water marks
+	cacheStale    map[string]float64 // origin staleness (ms) cache entries were stored with
+	rng           *rand.Rand         // power-of-two-choices source
+	lastPiggyback time.Time          // last piggyback-triggered EBF refresh
 }
 
 // Dial connects to a Quaestor deployment and fetches the initial EBF
@@ -170,11 +199,20 @@ type Client struct {
 func Dial(opts *Options) (*Client, error) {
 	o := opts.withDefaults()
 	c := &Client{
-		opts:      o,
-		http:      &http.Client{Transport: o.Transport},
-		local:     cache.New(cache.ExpirationBased, o.CacheCapacity, o.Clock),
-		ownWrites: map[string]*document.Document{},
-		highest:   map[string]int64{},
+		opts:       o,
+		http:       &http.Client{Transport: o.Transport},
+		local:      cache.New(cache.ExpirationBased, o.CacheCapacity, o.Clock),
+		ownWrites:  map[string]*document.Document{},
+		highest:    map[string]int64{},
+		minSeqs:    map[string]uint64{},
+		cacheStale: map[string]float64{},
+		rng:        rand.New(rand.NewSource(o.Clock().UnixNano())),
+	}
+	c.SetReplicaEndpoints(o.ReplicaEndpoints...)
+	if o.DiscoverReplicas {
+		// Best-effort: a deployment that advertises no topology leaves
+		// routing off, every read stays on the default endpoint.
+		_ = c.RefreshReplicaSet()
 	}
 	if o.PerTableEBF {
 		c.tableViews = map[string]*ebf.ClientView{}
@@ -325,6 +363,12 @@ func (c *Client) doRouted(method, path string, body []byte, revalidate bool, doc
 
 // send performs one raw exchange against an explicit base URL.
 func (c *Client) send(base, method, path string, body []byte, revalidate bool) (*http.Response, error) {
+	return c.sendHdr(base, method, path, body, revalidate, nil)
+}
+
+// sendHdr is send with extra request headers (the bounded-read admission
+// headers ride here).
+func (c *Client) sendHdr(base, method, path string, body []byte, revalidate bool, extra http.Header) (*http.Response, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
@@ -335,6 +379,9 @@ func (c *Client) send(base, method, path string, body []byte, revalidate bool) (
 	}
 	if revalidate {
 		req.Header.Set("Cache-Control", "no-cache")
+	}
+	for k, vs := range extra {
+		req.Header[k] = vs
 	}
 	c.mu.Lock()
 	c.stats.NetworkRequests++
@@ -482,6 +529,14 @@ func (c *Client) LastReplicaMeta() ReplicaMeta {
 // ReadOptions tunes one read.
 type ReadOptions struct {
 	Consistency Consistency
+	// MaxStaleness bounds this read's provable staleness when
+	// BoundStaleness is set (WithMaxStaleness builds the pair). A bound
+	// of 0 demands primary-equivalence: the read bypasses every cache
+	// tier and is served by the primary. A finite bound lets the read be
+	// served by the client cache or a replica that can prove it is
+	// within the bound.
+	MaxStaleness   time.Duration
+	BoundStaleness bool
 }
 
 // Read fetches a record with the session's consistency guarantees.
@@ -499,24 +554,33 @@ func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Documen
 
 	key := server.RecordKey(table, id)
 	path := server.RecordPath(table, id)
+	bound, bounded := c.effectiveBound(opts)
 
-	// Read-your-writes: our own writes short-circuit everything.
+	// Read-your-writes: our own writes short-circuit everything. (Always
+	// within any staleness bound — nothing is fresher than the session's
+	// own last write.)
 	if opts.Consistency != Strong {
 		c.mu.Lock()
 		if own, ok := c.ownWrites[key]; ok {
+			c.stats.ReadsByTier.ClientCache++
 			c.mu.Unlock()
 			return own.Clone(), nil
 		}
 		c.mu.Unlock()
 	}
 
-	revalidate := opts.Consistency == Strong || c.isStale(key) || c.consumeForcedRevalidation(key)
+	// A bound of 0 is a primary-equivalent read: revalidate end to end so
+	// no cache tier may answer.
+	revalidate := opts.Consistency == Strong || c.isStale(key) ||
+		c.consumeForcedRevalidation(key) || (bounded && bound == 0)
 	if !revalidate && !c.opts.DisableCache {
 		if entry, ok := c.local.Get(path); ok {
 			doc := entry.Value.(*document.Document)
-			if c.monotonicOK(key, doc.Version) {
+			if c.monotonicOK(key, doc.Version) &&
+				(!bounded || c.cacheWithinBound(path, entry.StoredAt, bound)) {
 				c.mu.Lock()
 				c.stats.CacheHits++
+				c.stats.ReadsByTier.ClientCache++
 				c.mu.Unlock()
 				c.observeRead(key, doc.Version)
 				return doc.Clone(), nil
@@ -524,7 +588,16 @@ func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Documen
 		}
 	}
 
-	doc, cacheTTL, err := c.fetchRecord(path, id, revalidate)
+	// Finite bounds route across the replica tier; bound 0 and unbounded
+	// reads go to the primary path.
+	fetch := func(reval bool) (*document.Document, time.Duration, error) {
+		if bounded && bound > 0 {
+			return c.fetchRecordRouted(path, id, key, reval, bound)
+		}
+		return c.fetchRecord(path, id, reval)
+	}
+
+	doc, cacheTTL, err := fetch(revalidate)
 	if err != nil {
 		return nil, err
 	}
@@ -542,11 +615,12 @@ func (c *Client) ReadWith(table, id string, opts ReadOptions) (*document.Documen
 		c.mu.Unlock()
 		if entry, ok := c.local.GetStale(path); ok && !c.isStale(key) {
 			cached := entry.Value.(*document.Document)
-			if cached.Version >= c.highestSeen(key) {
+			if cached.Version >= c.highestSeen(key) &&
+				(!bounded || c.cacheWithinBound(path, entry.StoredAt, bound)) {
 				return cached.Clone(), nil
 			}
 		}
-		doc, cacheTTL, err = c.fetchRecord(path, id, true)
+		doc, cacheTTL, err = fetch(true)
 		if err != nil {
 			return nil, err
 		}
@@ -566,25 +640,13 @@ func (c *Client) fetchRecord(path, id string, revalidate bool) (*document.Docume
 	if err != nil {
 		return nil, 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotModified {
-		c.mu.Lock()
-		c.stats.NotModified++
-		c.mu.Unlock()
-		if entry, ok := c.local.GetStale(path); ok {
-			d := entry.Value.(*document.Document)
-			return d.Clone(), maxAge(resp.Header), nil
-		}
-		return nil, 0, errors.New("client: 304 without cached copy")
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, decodeError(resp)
-	}
-	var doc document.Document
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+	doc, cacheTTL, err := c.decodeRecord(resp, path)
+	if err != nil {
 		return nil, 0, err
 	}
-	return &doc, maxAge(resp.Header), nil
+	c.countTier(resp.Header)
+	c.noteCacheOrigin(path, resp.Header)
+	return doc, cacheTTL, nil
 }
 
 func (c *Client) highestSeen(key string) int64 {
@@ -842,6 +904,7 @@ func (c *Client) Insert(table string, doc *document.Document) error {
 	if resp.StatusCode != http.StatusCreated {
 		return decodeError(resp)
 	}
+	c.observeWriteSeq(server.RecordKey(table, doc.ID), resp.Header)
 	c.recordOwnWrite(table, doc)
 	return nil
 }
@@ -860,6 +923,7 @@ func (c *Client) Put(table string, doc *document.Document) error {
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
+	c.observeWriteSeq(server.RecordKey(table, doc.ID), resp.Header)
 	c.recordOwnWrite(table, doc)
 	return nil
 }
@@ -882,6 +946,7 @@ func (c *Client) Update(table, id string, spec store.UpdateSpec) (*document.Docu
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return nil, err
 	}
+	c.observeWriteSeq(server.RecordKey(table, id), resp.Header)
 	c.recordOwnWrite(table, &doc)
 	return &doc, nil
 }
@@ -897,6 +962,7 @@ func (c *Client) Delete(table, id string) error {
 		return decodeError(resp)
 	}
 	key := server.RecordKey(table, id)
+	c.observeWriteSeq(key, resp.Header)
 	c.mu.Lock()
 	delete(c.ownWrites, key)
 	c.stats.Writes++

@@ -20,15 +20,22 @@ import (
 // per-table mode the client lazily fetches one filter per table it touches
 // and refreshes each independently under the same Δ.
 
-// fetchEBF retrieves a filter snapshot; table == "" means the aggregate.
-// Gzip transfer encoding is negotiated explicitly, as the sparse filter
-// compresses well.
+// fetchEBF retrieves a filter snapshot from the default endpoint;
+// table == "" means the aggregate.
 func (c *Client) fetchEBF(table string) (ebf.Snapshot, error) {
+	return c.fetchEBFFrom(c.opts.BaseURL, table)
+}
+
+// fetchEBFFrom retrieves a filter snapshot from an explicit base URL —
+// piggyback refreshes pull the filter from the replica that served the
+// read instead of the primary. Gzip transfer encoding is negotiated
+// explicitly, as the sparse filter compresses well.
+func (c *Client) fetchEBFFrom(base, table string) (ebf.Snapshot, error) {
 	path := "/v1/ebf"
 	if table != "" {
 		path += "?table=" + table
 	}
-	req, err := http.NewRequest(http.MethodGet, c.opts.BaseURL+path, nil)
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
 	if err != nil {
 		return ebf.Snapshot{}, err
 	}

@@ -2,8 +2,10 @@ package client
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // HandlerTransport adapts an http.Handler into an http.RoundTripper so a
@@ -35,6 +37,50 @@ func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) 
 		ContentLength: int64(rec.body.Len()),
 		Request:       req,
 	}, nil
+}
+
+// HostMapTransport dispatches requests to per-host in-process handlers
+// by the request URL's host, falling back to Fallback (or the sole
+// mapped handler) when the host is unknown. It is how tests and
+// benchmarks assemble multi-node topologies — a primary plus N replicas,
+// each a distinct http.Handler addressed by base URL — in one process,
+// while production deployments use real sockets with the same URLs.
+type HostMapTransport struct {
+	Handlers map[string]http.Handler
+	Fallback http.Handler
+}
+
+// NewHostMapTransport maps base URLs (e.g. "http://replica-1") or bare
+// hosts to handlers.
+func NewHostMapTransport(handlers map[string]http.Handler) *HostMapTransport {
+	byHost := make(map[string]http.Handler, len(handlers))
+	for k, h := range handlers {
+		byHost[hostOf(k)] = h
+	}
+	return &HostMapTransport{Handlers: byHost}
+}
+
+func hostOf(base string) string {
+	s := base
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *HostMapTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h := t.Handlers[req.URL.Host]
+	if h == nil {
+		h = t.Fallback
+	}
+	if h == nil {
+		return nil, fmt.Errorf("client: no handler mapped for host %q", req.URL.Host)
+	}
+	return (&HandlerTransport{Handler: h}).RoundTrip(req)
 }
 
 type captureWriter struct {

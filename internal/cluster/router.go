@@ -172,20 +172,59 @@ func (r *Router) LastSeqs() []uint64 {
 }
 
 // QueryStream scatters q to every shard as a streaming cursor and gathers
-// through the ordered k-way merge. Each shard executes the sub-query
-// window [0, offset+limit) — per-shard early termination — and emits in
-// q.Less order (the executor's contract), so the merge plus the global
+// through the ordered k-way merge. Each shard executes a sub-query window
+// — per-shard early termination — and emits in q.Less order (the
+// executor's contract), so the merge plus the residual global
 // OFFSET/LIMIT window reproduces a single node's result byte for byte.
 // The returned cursor's plan aggregates per-shard execution stats.
+//
+// OFFSET pushdown: with per-shard table counts c_i, shard i must place at
+// least p_i = max(0, offset − Σ_{j≠i} c_j) of its rows inside the global
+// skip region — even if every other shard's rows all sorted first, shard
+// i still covers the remainder. Those p_i leading rows are skipped
+// shard-side (sub-query offset), the fetch window shrinks to
+// offset+limit−p_i, and the merge applies only the residual offset
+// offset−Σp_i. Counts are a point-in-time snapshot: under concurrent
+// writes the window may shift by in-flight rows, the same non-snapshot
+// anomaly the scatter already has (shards execute at different instants);
+// order and duplicate-freedom are unaffected.
 func (r *Router) QueryStream(q *query.Query) (*store.Cursor, error) {
 	if len(r.stores) == 1 {
 		return r.stores[0].QueryStream(q)
 	}
-	sub := q
+	subs := make([]*query.Query, len(r.stores))
+	merge := q
+	pruned := 0
 	if q.Offset > 0 {
-		// Every shard must produce the first offset+limit rows: any of
-		// them could hold the entire global window.
-		sub = q.Sliced(0, subLimit(q))
+		if counts, total, err := r.shardCounts(q.Table); err == nil {
+			for i := range r.stores {
+				p := q.Offset - (total - counts[i])
+				if p < 0 {
+					p = 0
+				}
+				if p > counts[i] {
+					p = counts[i]
+				}
+				pruned += p
+				if q.Limit > 0 {
+					subs[i] = q.Sliced(p, q.Offset+q.Limit-p)
+				} else {
+					subs[i] = q.Sliced(p, 0)
+				}
+			}
+			merge = q.Sliced(q.Offset-pruned, q.Limit)
+		} else {
+			// No count statistics: every shard produces the full
+			// [0, offset+limit) window — any of them could hold it all.
+			sub := q.Sliced(0, subLimit(q))
+			for i := range subs {
+				subs[i] = sub
+			}
+		}
+	} else {
+		for i := range subs {
+			subs[i] = q
+		}
 	}
 	lists := make([][]*document.Document, len(r.stores))
 	plans := make([]query.Plan, len(r.stores))
@@ -195,7 +234,7 @@ func (r *Router) QueryStream(q *query.Query) (*store.Cursor, error) {
 		wg.Add(1)
 		go func(i int, st *store.Store) {
 			defer wg.Done()
-			cur, err := st.QueryStream(sub)
+			cur, err := st.QueryStream(subs[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -218,14 +257,33 @@ func (r *Router) QueryStream(q *query.Query) (*store.Cursor, error) {
 			return nil, err
 		}
 	}
-	merged := store.MergeOrdered(q, lists)
+	merged := store.MergeOrdered(merge, lists)
 	plan := plans[0]
 	for _, p := range plans[1:] {
 		plan.RowsExamined += p.RowsExamined
 	}
 	plan.RowsReturned = len(merged)
 	plan.Reason = fmt.Sprintf("scatter-gather over %d shards; per-shard: %s", len(r.stores), plan.Reason)
+	if pruned > 0 {
+		plan.Reason += fmt.Sprintf("; offset pushdown skipped %d rows shard-side", pruned)
+	}
 	return store.NewCursor(plan, merged), nil
+}
+
+// shardCounts returns every shard's table count plus the total — the
+// statistics the OFFSET pushdown slices per-shard windows from.
+func (r *Router) shardCounts(table string) ([]int, int, error) {
+	counts := make([]int, len(r.stores))
+	total := 0
+	for i, st := range r.stores {
+		n, err := st.Count(table)
+		if err != nil {
+			return nil, 0, err
+		}
+		counts[i] = n
+		total += n
+	}
+	return counts, total, nil
 }
 
 // subLimit is the per-shard window for a scattered query: offset+limit

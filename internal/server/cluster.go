@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -121,7 +122,8 @@ func (s *Server) replStore(r *http.Request) (*store.Store, error) {
 }
 
 // AttachReplicas hands a sharded server the per-shard replicas it fronts
-// (index = shard).
+// (index = shard), and starts one coherence pump per shard store so the
+// TTL estimator and EBF see replicated writes (see AttachReplica).
 func (s *Server) AttachReplicas(rs []*replication.Replica) {
 	s.mu.Lock()
 	s.shardReplicas = rs
@@ -129,6 +131,36 @@ func (s *Server) AttachReplicas(rs []*replication.Replica) {
 		s.replica = rs[0]
 	}
 	s.mu.Unlock()
+	if s.cluster != nil {
+		for i, st := range s.cluster.Stores() {
+			s.followCoherence(st, fmt.Sprintf("replica-coherence-%d", i))
+		}
+	} else {
+		s.followCoherence(s.db, "replica-coherence")
+	}
+}
+
+// ReplicaSetResponse is the JSON body of GET /v1/cluster/replicas: the
+// deployment's read topology. Every advertised replica follows all of
+// the primary's shards (a sharded replica runs one replication loop per
+// shard), so any replica endpoint can serve any key — clients route
+// bounded reads across Replicas and everything else to Primary.
+type ReplicaSetResponse struct {
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas"`
+}
+
+// handleClusterReplicas serves GET /v1/cluster/replicas. Nodes with no
+// advertised topology answer an empty set — clients then keep every read
+// on their configured endpoint.
+func (s *Server) handleClusterReplicas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	primary, replicas := s.ReplicaEndpoints()
+	writeJSON(w, http.StatusOK, ReplicaSetResponse{Primary: primary, Replicas: replicas})
 }
 
 // ShardReplicas returns the attached per-shard replicas (nil unless this

@@ -57,6 +57,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/replication/", s.handleReplication)
 	mux.HandleFunc("/v1/cluster/map", s.handleClusterMap)
+	mux.HandleFunc("/v1/cluster/replicas", s.handleClusterReplicas)
 	return s.withAuth(s.withShardEpoch(mux))
 }
 
@@ -317,16 +318,21 @@ func (s *Server) handleDB(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request, table, id string) {
 	switch r.Method {
 	case http.MethodGet:
+		if !s.admitRead(w, r, id) {
+			return
+		}
 		res, err := s.Read(table, id)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
+		s.countServed()
 		browserTTL, cdnTTL := s.CacheControl(res.TTL)
 		w.Header().Set("Cache-Control", cacheControlValue(browserTTL, cdnTTL))
 		w.Header().Set("ETag", res.ETag)
 		w.Header().Set("X-Quaestor-Key", RecordKey(table, id))
-		s.addReplicaHeaders(w)
+		s.addReplicaHeadersFor(w, id)
+		s.addEBFGeneration(w)
 		if r.Header.Get("If-None-Match") == res.ETag {
 			s.revalidations.Add(1)
 			w.WriteHeader(http.StatusNotModified)
@@ -344,6 +350,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request, table, id 
 			writeError(w, err)
 			return
 		}
+		s.addWriteSeq(w, id)
 		writeJSON(w, http.StatusOK, map[string]string{"id": id})
 	case http.MethodPatch:
 		var spec store.UpdateSpec
@@ -356,12 +363,14 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request, table, id 
 			writeError(w, err)
 			return
 		}
+		s.addWriteSeq(w, id)
 		writeJSON(w, http.StatusOK, doc)
 	case http.MethodDelete:
 		if err := s.Delete(table, id); err != nil {
 			writeError(w, err)
 			return
 		}
+		s.addWriteSeq(w, id)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "unsupported method"})
@@ -378,7 +387,35 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, table stri
 		writeError(w, err)
 		return
 	}
+	s.addWriteSeq(w, doc.ID)
 	writeJSON(w, http.StatusCreated, map[string]string{"id": doc.ID})
+}
+
+// addWriteSeq stamps a successful write response with the owning store's
+// sequence at acknowledgement time — the client's read-your-writes
+// low-water mark. LastSeq is at or above the write's own sequence, the
+// conservative direction.
+func (s *Server) addWriteSeq(w http.ResponseWriter, id string) {
+	w.Header().Set(HeaderWriteSeq, strconv.FormatUint(s.dbFor(id).LastSeq(), 10))
+}
+
+// addEBFGeneration piggybacks the node's EBF generation on a read
+// response, so clients holding an older filter can warm their
+// invalidation state from the tier that serves them.
+func (s *Server) addEBFGeneration(w http.ResponseWriter) {
+	if gen := s.ebfGen.Load(); gen > 0 {
+		w.Header().Set(HeaderEBFGenerated, strconv.FormatInt(gen, 10))
+	}
+}
+
+// countServed attributes one served read/query to this node's current
+// tier (replica vs primary).
+func (s *Server) countServed() {
+	if s.servingAsReplica() {
+		s.servedReplica.Add(1)
+	} else {
+		s.servedPrimary.Add(1)
+	}
 }
 
 // QueryResponse is the JSON body of a query.
@@ -437,6 +474,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table strin
 		writeError(w, err)
 		return
 	}
+	if !s.admitRead(w, r, "") {
+		return
+	}
 	if streamRequested(r.URL.Query().Get("stream")) {
 		s.streamQuery(w, q)
 		return
@@ -446,6 +486,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table strin
 		writeError(w, err)
 		return
 	}
+	s.countServed()
 	// Remember which path serves this query so invalidations can purge it.
 	s.RegisterQueryPath(q.Key(), r.URL.RequestURI())
 
@@ -459,6 +500,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, table strin
 	w.Header().Set("X-Quaestor-Key", q.Key())
 	w.Header().Set("X-Quaestor-Rep", res.Representation.String())
 	s.addReplicaHeaders(w)
+	s.addEBFGeneration(w)
 	if r.Header.Get("If-None-Match") == res.ETag {
 		s.revalidations.Add(1)
 		w.WriteHeader(http.StatusNotModified)
@@ -498,6 +540,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, q *query.Query) {
 		writeError(w, err)
 		return
 	}
+	s.countServed()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("X-Quaestor-Key", q.Key())

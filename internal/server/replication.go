@@ -31,6 +31,39 @@ import (
 // reported staleness resolution.
 const replStreamHeartbeat = 500 * time.Millisecond
 
+// Read-routing protocol headers. A client spreading reads across the
+// replica tier bounds each read with HeaderMaxStaleness (and, for
+// read-your-writes, HeaderMinSeq); a replica that cannot meet the bound
+// answers 412 Precondition Failed carrying its current staleness, so the
+// client re-routes without parsing a body.
+const (
+	// HeaderMaxStaleness is the request header carrying the client's
+	// staleness bound in milliseconds. A replica whose provable staleness
+	// exceeds it (or is still unknown) rejects the read with 412.
+	HeaderMaxStaleness = "X-Quaestor-Max-Staleness-Ms"
+	// HeaderMinSeq is the request header carrying the client's
+	// read-your-writes floor: the owning store's sequence its last write
+	// to this key was acknowledged at. A replica whose applied sequence
+	// is below it rejects with 412.
+	HeaderMinSeq = "X-Quaestor-Min-Seq"
+	// HeaderAppliedSeq annotates replica-served record reads with the
+	// owning store's applied sequence, so clients can track how far the
+	// serving replica had caught up.
+	HeaderAppliedSeq = "X-Quaestor-Applied-Seq"
+	// HeaderWriteSeq annotates successful write responses with the owning
+	// store's sequence at acknowledgement time — the value clients feed
+	// into their per-key low-water-mark table for read-your-writes
+	// routing. It is an upper bound on the write's own sequence, which is
+	// the conservative (safe) direction.
+	HeaderWriteSeq = "X-Quaestor-Seq"
+	// HeaderEBFGenerated annotates read responses with the serving node's
+	// EBF generation (Unix nanoseconds of its newest stale-key entry).
+	// Clients holding an older filter refresh it from the tier that
+	// serves them — Cached-Initialization-style piggybacking without a
+	// primary round-trip.
+	HeaderEBFGenerated = "X-Quaestor-EBF-Generated"
+)
+
 // replWriteTimeout bounds every write on a replication transfer. It is
 // what protects the primary from a stalled-but-open replica connection:
 // the stream feeds a Block-policy subscription, so a consumer that
@@ -58,12 +91,16 @@ func (d *deadlineWriter) Write(p []byte) (int, error) {
 }
 
 // AttachReplica hands the server the replica it fronts, enabling the
-// status/promote endpoints, the replication section of /v1/stats, and
-// staleness headers on reads.
+// status/promote endpoints, the replication section of /v1/stats,
+// staleness headers on reads, and the coherence pump that feeds
+// replicated writes into the TTL estimator and the EBF — without it a
+// replica's estimator would see no writes at all (they arrive through
+// replication, not the HTTP write path) and every key would look cold.
 func (s *Server) AttachReplica(r *replication.Replica) {
 	s.mu.Lock()
 	s.replica = r
 	s.mu.Unlock()
+	s.followCoherence(s.db, "replica-coherence")
 }
 
 // Replica returns the attached replica, or nil on a primary.
@@ -295,13 +332,11 @@ func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "lastSeq": s.db.LastSeq()})
 }
 
-// addReplicaHeaders stamps read responses with the staleness bound, so
-// clients of a replica know how far behind the primary their read may
-// be (the paper's Δ-atomicity reporting, extended to replica reads).
-// On a sharded replica the headers report the worst bound across all
-// shard followers — a read may have touched any of them.
-func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
-	var st replication.Status
+// replicaStatus reports the node's replica view: the attached replica's
+// status, or — on a sharded replica — the worst bound across all shard
+// followers (a read may have touched any of them). ok is false on a
+// primary (no replica attached).
+func (s *Server) replicaStatus() (st replication.Status, ok bool) {
 	if reps := s.ShardReplicas(); len(reps) > 0 {
 		st = reps[0].Status()
 		for _, rep := range reps[1:] {
@@ -320,12 +355,29 @@ func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
 				}
 			}
 		}
-	} else {
-		repl := s.Replica()
-		if repl == nil {
-			return
-		}
-		st = repl.Status()
+		return st, true
+	}
+	repl := s.Replica()
+	if repl == nil {
+		return replication.Status{}, false
+	}
+	return repl.Status(), true
+}
+
+// servingAsReplica reports whether reads served right now come from a
+// following replica (a promoted replica is a primary again).
+func (s *Server) servingAsReplica() bool {
+	st, ok := s.replicaStatus()
+	return ok && st.State != replication.StatePromoted
+}
+
+// addReplicaHeaders stamps read responses with the staleness bound, so
+// clients of a replica know how far behind the primary their read may
+// be (the paper's Δ-atomicity reporting, extended to replica reads).
+func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
+	st, ok := s.replicaStatus()
+	if !ok {
+		return
 	}
 	w.Header().Set("X-Quaestor-Replica", string(st.State))
 	if st.StalenessMs >= 0 {
@@ -334,4 +386,60 @@ func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
 	if st.LagSeq > 0 {
 		w.Header().Set("X-Quaestor-Replica-Lag", strconv.FormatUint(st.LagSeq, 10))
 	}
+}
+
+// addReplicaHeadersFor is addReplicaHeaders plus the record's
+// applied-sequence annotation: the owning store's newest applied
+// sequence, the value a client compares its read-your-writes floor
+// against.
+func (s *Server) addReplicaHeadersFor(w http.ResponseWriter, id string) {
+	if !s.servingAsReplica() {
+		return
+	}
+	s.addReplicaHeaders(w)
+	w.Header().Set(HeaderAppliedSeq, strconv.FormatUint(s.dbFor(id).LastSeq(), 10))
+}
+
+// admitRead enforces the read-routing admission protocol on a
+// replica-served read. A request carrying HeaderMaxStaleness (and
+// optionally HeaderMinSeq for record reads) is rejected with 412
+// Precondition Failed when this node cannot prove it meets the bound —
+// the response carries the current staleness headers so the client can
+// re-route to a fresher replica (or the primary) without parsing a body.
+// Primaries (and promoted replicas) admit everything: they are the
+// freshness ceiling. Returns false when the response has been written.
+func (s *Server) admitRead(w http.ResponseWriter, r *http.Request, id string) bool {
+	maxStr := r.Header.Get(HeaderMaxStaleness)
+	minStr := r.Header.Get(HeaderMinSeq)
+	if maxStr == "" && minStr == "" {
+		return true
+	}
+	st, ok := s.replicaStatus()
+	if !ok || st.State == replication.StatePromoted {
+		return true
+	}
+	reject := func(reason string) bool {
+		s.stalenessRejects.Add(1)
+		s.addReplicaHeadersFor(w, id)
+		writeJSON(w, http.StatusPreconditionFailed, map[string]string{"error": reason})
+		return false
+	}
+	if maxStr != "" {
+		bound, err := strconv.ParseFloat(maxStr, 64)
+		if err == nil {
+			if st.StalenessMs < 0 {
+				return reject("replica staleness not yet bounded")
+			}
+			if st.StalenessMs > bound {
+				return reject(fmt.Sprintf("replica staleness %.0fms exceeds bound %.0fms", st.StalenessMs, bound))
+			}
+		}
+	}
+	if minStr != "" && id != "" {
+		minSeq, err := strconv.ParseUint(minStr, 10, 64)
+		if err == nil && s.dbFor(id).LastSeq() < minSeq {
+			return reject(fmt.Sprintf("replica applied seq %d behind required %d", s.dbFor(id).LastSeq(), minSeq))
+		}
+	}
+	return true
 }

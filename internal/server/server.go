@@ -150,6 +150,20 @@ type Stats struct {
 	// cost model against reality.
 	RowsExamined uint64
 	RowsReturned uint64
+	// Read-routing tier accounting: reads+queries this node served while
+	// acting as a following replica vs as a primary, and admission
+	// rejections (412: the requested staleness bound could not be met
+	// here). Together with the client SDK's ReadsByTier these measure —
+	// rather than infer — how much of the read load the replica tier
+	// absorbs.
+	ServedPrimary    uint64
+	ServedReplica    uint64
+	StalenessRejects uint64
+	// ReplicatedWrites counts write events the coherence pump consumed
+	// from the local pipeline while following a primary; each feeds the
+	// TTL estimator and the EBF exactly like an HTTP write would on the
+	// primary.
+	ReplicatedWrites uint64
 }
 
 // Server is the Quaestor middleware instance.
@@ -185,6 +199,13 @@ type Server struct {
 	// shardReplicas holds the per-shard replica loops of a sharded
 	// replica (index = shard); guarded by mu.
 	shardReplicas []*replication.Replica
+	// cohCancels stops the coherence pumps started by Attach* (guarded by
+	// mu).
+	cohCancels []func()
+	// advPrimary/advReplicas is the read topology advertised on
+	// GET /v1/cluster/replicas (guarded by mu).
+	advPrimary  string
+	advReplicas []string
 
 	detachStore func()
 	notifyDone  chan struct{}
@@ -203,6 +224,14 @@ type Server struct {
 	rowsExamined     atomic.Uint64
 	rowsReturned     atomic.Uint64
 	sseDropped       atomic.Uint64
+	servedPrimary    atomic.Uint64
+	servedReplica    atomic.Uint64
+	stalenessRejects atomic.Uint64
+	replWrites       atomic.Uint64
+	// ebfGen is the Unix-nanosecond timestamp of the EBF's newest
+	// mutation, piggybacked on read responses (HeaderEBFGenerated) so
+	// clients can warm their invalidation state from the serving tier.
+	ebfGen atomic.Int64
 
 	// planLatency holds one histogram per plan kind (scan/probe/range) so
 	// experiments can attribute query latency to the chosen access path.
@@ -297,7 +326,12 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	cohCancels := s.cohCancels
+	s.cohCancels = nil
 	s.mu.Unlock()
+	for _, c := range cohCancels {
+		c()
+	}
 	s.detachStore()
 	s.inv.Stop()
 	<-s.notifyDone
@@ -350,6 +384,10 @@ func (s *Server) Stats() Stats {
 		PlanScans:        s.planScans.Load(),
 		RowsExamined:     s.rowsExamined.Load(),
 		RowsReturned:     s.rowsReturned.Load(),
+		ServedPrimary:    s.servedPrimary.Load(),
+		ServedReplica:    s.servedReplica.Load(),
+		StalenessRejects: s.stalenessRejects.Load(),
+		ReplicatedWrites: s.replWrites.Load(),
 	}
 }
 
@@ -726,6 +764,60 @@ func (s *Server) afterWrite(table, id string) {
 	if s.coh.ReportWrite(key) {
 		s.schedulePurge(RecordPath(table, id))
 	}
+	s.ebfGen.Store(s.opts.Clock().UnixNano())
+}
+
+// EBFGeneration returns the Unix-nanosecond timestamp of the EBF's
+// newest mutation (0 before the first write).
+func (s *Server) EBFGeneration() int64 { return s.ebfGen.Load() }
+
+// followCoherence subscribes to one store's ordered change stream and
+// feeds every replicated write into the TTL estimator and the EBF — the
+// same bookkeeping afterWrite does on the HTTP write path, which a
+// replica's writes never take (they arrive through replication). This is
+// what makes replica-served Cache-Control TTLs hot/cold-aware and the
+// replica's piggybacked EBF coherent. After a promote the HTTP write
+// path and this pump both observe a write; the double-counted write rate
+// only shortens TTL estimates, the conservative direction.
+func (s *Server) followCoherence(st *store.Store, name string) {
+	ch, cancel := st.SubscribeNamed(name)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			if ev.After == nil {
+				continue // DDL events carry no record key
+			}
+			key := ev.Key()
+			s.est.ObserveWrite(key)
+			if s.coh.ReportWrite(key) {
+				s.schedulePurge(RecordPath(ev.Table, ev.After.ID))
+			}
+			s.ebfGen.Store(s.opts.Clock().UnixNano())
+			s.replWrites.Add(1)
+		}
+	}()
+	s.mu.Lock()
+	s.cohCancels = append(s.cohCancels, func() { cancel(); <-done })
+	s.mu.Unlock()
+}
+
+// SetReplicaEndpoints advertises the deployment's read topology: the
+// primary's base URL plus the replica endpoints clients may spread
+// bounded reads across. Served on GET /v1/cluster/replicas; the
+// quaestor-server binary populates it from -advertise-replicas.
+func (s *Server) SetReplicaEndpoints(primary string, replicas []string) {
+	s.mu.Lock()
+	s.advPrimary = primary
+	s.advReplicas = append([]string(nil), replicas...)
+	s.mu.Unlock()
+}
+
+// ReplicaEndpoints returns the advertised read topology.
+func (s *Server) ReplicaEndpoints() (primary string, replicas []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advPrimary, append([]string(nil), s.advReplicas...)
 }
 
 // notificationLoop consumes InvaliDB events: every notification marks the
