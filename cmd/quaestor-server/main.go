@@ -33,6 +33,14 @@
 // dialed with DiscoverReplicas route staleness-bounded reads across the
 // advertised replica endpoints and fall back to the primary.
 //
+// With -failover the node also runs an embedded failover coordinator: it
+// heartbeats the supervised primary, and when the primary stays dead past
+// the failure threshold it elects the freshest candidate replica per
+// shard, promotes it, rewrites the shard map (epoch bump) on every
+// survivor, and fences the old primary if it comes back. Run it on a
+// replica (-replica-of) with -advertise-self so the replica can elect and
+// advertise itself.
+//
 // Usage:
 //
 //	quaestor-server -addr :8080 -tables posts,users \
@@ -54,6 +62,7 @@ import (
 	"time"
 
 	"quaestor/internal/cluster"
+	"quaestor/internal/coordinator"
 	"quaestor/internal/invalidb"
 	"quaestor/internal/replication"
 	"quaestor/internal/server"
@@ -80,6 +89,13 @@ func main() {
 	replicaName := flag.String("replica-name", "", "replica id reported in the primary's pipeline stats (default: the listen address)")
 	advertisePrimary := flag.String("advertise-primary", "", "primary base URL advertised to clients via GET /v1/cluster/replicas (default: none)")
 	advertiseReplicas := flag.String("advertise-replicas", "", "comma-separated replica base URLs advertised via GET /v1/cluster/replicas for staleness-bounded read routing")
+	advertiseSelf := flag.String("advertise-self", "", "this node's own externally reachable base URL; a promoted replica advertises it as the new primary")
+	failover := flag.Bool("failover", false, "run an embedded failover coordinator supervising -failover-primary (see internal/coordinator)")
+	failoverPrimary := flag.String("failover-primary", "", "primary base URL the coordinator supervises (default: -replica-of)")
+	failoverReplicas := flag.String("failover-replicas", "", "comma-separated candidate replica base URLs the coordinator elects a new primary from (default: -advertise-self)")
+	failoverHeartbeat := flag.Duration("failover-heartbeat", 500*time.Millisecond, "coordinator heartbeat probe interval")
+	failoverThreshold := flag.Int("failover-threshold", 3, "consecutive failed probes before the coordinator declares the primary dead")
+	failoverTimeout := flag.Duration("failover-timeout", 2*time.Second, "coordinator per-probe HTTP timeout")
 	flag.Parse()
 
 	var mode server.CacheMode
@@ -147,6 +163,45 @@ func main() {
 			}
 		}
 		srv.SetReplicaEndpoints(*advertisePrimary, reps)
+	}
+	if *advertiseSelf != "" {
+		srv.SetSelfURL(*advertiseSelf)
+	}
+
+	if *failover {
+		primary := *failoverPrimary
+		if primary == "" {
+			primary = *replicaOf
+		}
+		if primary == "" {
+			log.Fatal("-failover needs -failover-primary (or -replica-of) to supervise")
+		}
+		var cands []string
+		for _, u := range strings.Split(*failoverReplicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cands = append(cands, u)
+			}
+		}
+		if len(cands) == 0 && *advertiseSelf != "" {
+			cands = []string{*advertiseSelf}
+		}
+		if len(cands) == 0 {
+			log.Fatal("-failover needs -failover-replicas (candidate endpoints to elect from)")
+		}
+		co, err := coordinator.New(coordinator.Options{
+			Primary:           primary,
+			Replicas:          cands,
+			HeartbeatInterval: *failoverHeartbeat,
+			ProbeTimeout:      *failoverTimeout,
+			FailureThreshold:  *failoverThreshold,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("failover coordinator: %v", err)
+		}
+		co.Run()
+		defer co.Stop()
+		srv.AttachCoordinator(co)
 	}
 
 	if *replicaOf != "" {

@@ -150,6 +150,13 @@ type Stats struct {
 	ReadsByTier      TierCounts
 	StalenessRetries uint64
 	EBFPiggybacks    uint64
+	// EndpointEvictions counts replica endpoints taken out of routing
+	// after evictAfterFailures consecutive connection failures (they are
+	// re-probed with exponential backoff); FailoverRetries counts ops
+	// re-sent to a surviving node after the routed endpoint failed at the
+	// transport level — the client half of a primary-death cutover.
+	EndpointEvictions uint64
+	FailoverRetries   uint64
 }
 
 // ReplicaMeta is the replica annotation parsed off one response's
@@ -184,7 +191,11 @@ type Client struct {
 	lastRead    time.Time                     // newest read timestamp (causal)
 	lastReplica ReplicaMeta                   // newest replica annotation observed
 	smap        *cluster.ShardMap             // cached shard map (nil until a sharded server is seen)
-	stats       Stats
+	// knownPrimary is the newest advertised primary base URL (from
+	// X-Quaestor-Primary headers or ReplicaSetResponse.Primary): the
+	// write-redirect target when the routed endpoint is gone.
+	knownPrimary string
+	stats        Stats
 
 	// Staleness-bounded read routing state (routing.go).
 	replicas      []*endpointState   // replica endpoints, with observed health
@@ -330,13 +341,27 @@ func (c *Client) do(method, path string, body []byte, revalidate bool) (*http.Re
 //     moves the record to a different node the op is retried once there.
 //   - A write bounced 503 by a read-only replica redirects once to the
 //     primary the replica advertises via X-Quaestor-Primary.
+//   - A transport-level failure (the routed node is gone) refreshes the
+//     topology from a surviving endpoint and retries once wherever the
+//     rewritten map or the advertised primary points — the client half
+//     of an automatic failover cutover.
 func (c *Client) doRouted(method, path string, body []byte, revalidate bool, docID string) (*http.Response, error) {
 	base := c.nodeFor(docID)
 	resp, err := c.send(base, method, path, body, revalidate)
 	if err != nil {
-		return nil, err
+		nb, ok := c.failoverBase(base, docID)
+		if !ok {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.stats.FailoverRetries++
+		c.mu.Unlock()
+		base = nb
+		if resp, err = c.send(base, method, path, body, revalidate); err != nil {
+			return nil, err
+		}
 	}
-	if c.observeShardEpoch(resp.Header) && docID != "" {
+	if c.observeShardEpoch(resp.Header, base) && docID != "" {
 		if nb := c.nodeFor(docID); nb != base {
 			resp.Body.Close()
 			c.mu.Lock()
@@ -419,8 +444,10 @@ func (c *Client) nodeFor(docID string) string {
 // stale and the refetch succeeded — the signal that routing may have
 // been wrong and the op should be retried against the new owner. First
 // contact with a sharded deployment fetches the map but needs no retry:
-// the server answered by proxying internally.
-func (c *Client) observeShardEpoch(h http.Header) bool {
+// the server answered by proxying internally. The refetch prefers the
+// node that served the response: it provably holds the new epoch, while
+// the default endpoint may be mid-failover (or the node that just died).
+func (c *Client) observeShardEpoch(h http.Header, base string) bool {
 	v := h.Get(server.HeaderShardEpoch)
 	if v == "" {
 		return false
@@ -439,7 +466,7 @@ func (c *Client) observeShardEpoch(h http.Header) bool {
 	if known && epoch == current {
 		return false
 	}
-	if err := c.RefreshShardMap(); err != nil {
+	if err := c.refreshShardMap(base); err != nil {
 		return false
 	}
 	return known && epoch != current
@@ -448,9 +475,59 @@ func (c *Client) observeShardEpoch(h http.Header) bool {
 // RefreshShardMap fetches /v1/cluster/map and caches it. Called
 // automatically on first contact with a sharded server and on epoch
 // changes; exported so deployments with per-shard endpoints can prime
-// client-side routing before the first point op.
+// client-side routing before the first point op. When the default
+// endpoint is unreachable (it may be the failed primary), every other
+// endpoint the client knows is tried.
 func (c *Client) RefreshShardMap() error {
-	req, err := http.NewRequest(http.MethodGet, c.opts.BaseURL+"/v1/cluster/map", nil)
+	return c.refreshShardMap("")
+}
+
+func (c *Client) refreshShardMap(preferred string) error {
+	var lastErr error
+	for _, base := range c.mapSources(preferred) {
+		if err := c.refreshShardMapFrom(base); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no endpoint to fetch the shard map from")
+	}
+	return lastErr
+}
+
+// mapSources lists the bases to try for topology fetches, preferred (the
+// node whose response revealed the change) first, then the default
+// endpoint, the last advertised primary, the replica set, and the cached
+// map's nodes.
+func (c *Client) mapSources(preferred string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	add := func(u string) {
+		if u != "" && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	add(preferred)
+	add(c.opts.BaseURL)
+	add(c.knownPrimary)
+	for _, ep := range c.replicas {
+		add(ep.url)
+	}
+	if c.smap != nil {
+		for _, u := range c.smap.Nodes {
+			add(u)
+		}
+	}
+	return out
+}
+
+func (c *Client) refreshShardMapFrom(base string) error {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/cluster/map", nil)
 	if err != nil {
 		return err
 	}
@@ -478,6 +555,44 @@ func (c *Client) RefreshShardMap() error {
 	return nil
 }
 
+// failoverBase picks where to retry an op whose routed endpoint failed
+// at the transport level: the topology is refreshed from the first
+// surviving endpoint (after a failover the shard map's node list and the
+// replica set have both been rewritten), then the op goes to the
+// refreshed map's owner for the record, the advertised primary, or the
+// surviving endpoint itself — whose 503 redirect still lands writes on
+// the right node. ok is false when no endpoint besides the dead one is
+// known (or none answers): the caller surfaces the original error.
+func (c *Client) failoverBase(dead, docID string) (string, bool) {
+	var live string
+	for _, base := range c.mapSources("") {
+		if base == dead {
+			continue
+		}
+		if err := c.refreshShardMapFrom(base); err != nil {
+			continue
+		}
+		_ = c.refreshReplicaSetFrom(base)
+		live = base
+		break
+	}
+	if live == "" {
+		return "", false
+	}
+	if docID != "" {
+		if nb := c.nodeFor(docID); nb != dead && nb != "" {
+			return nb, true
+		}
+	}
+	c.mu.Lock()
+	kp := c.knownPrimary
+	c.mu.Unlock()
+	if kp != "" && kp != dead {
+		return kp, true
+	}
+	return live, true
+}
+
 // ShardMap returns the cached cluster topology (nil until a sharded
 // server has been contacted or RefreshShardMap called).
 func (c *Client) ShardMap() *cluster.ShardMap {
@@ -492,6 +607,14 @@ func (c *Client) ShardMap() *cluster.ShardMap {
 // replica annotation stays current, so LastReplicaMeta describes the
 // most recent replica-served exchange.
 func (c *Client) observeReplicaHeaders(h http.Header) {
+	// The advertised primary rides on every follower- or fenced-node
+	// response; remember the newest as the redirect target of last
+	// resort (failoverBase).
+	if p := h.Get(server.HeaderPrimary); p != "" {
+		c.mu.Lock()
+		c.knownPrimary = p
+		c.mu.Unlock()
+	}
 	state := h.Get("X-Quaestor-Replica")
 	if state == "" {
 		return

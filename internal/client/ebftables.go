@@ -52,7 +52,7 @@ func (c *Client) fetchEBFFrom(base, table string) (ebf.Snapshot, error) {
 	// First contact with a sharded server may happen here (Dial fetches
 	// the EBF before any data op): cache the shard map for point-op
 	// routing. No retry — the EBF is shard-agnostic.
-	c.observeShardEpoch(resp.Header)
+	c.observeShardEpoch(resp.Header, "")
 	if resp.StatusCode != http.StatusOK {
 		return ebf.Snapshot{}, fmt.Errorf("client: EBF endpoint returned %s", resp.Status)
 	}

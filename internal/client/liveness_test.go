@@ -1,0 +1,88 @@
+package client
+
+// Endpoint-liveness unit tests: the unknown-staleness routing penalty
+// (the -1 sentinel must rank last among observed endpoints, never
+// "fresher than 0") and connection-failure eviction with backoff.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestScoreUnknownStalenessRanksLast(t *testing.T) {
+	proven := &endpointState{observed: true, stalenessMs: 250, latencyMs: 5}
+	unknown := &endpointState{observed: true, stalenessMs: -1, latencyMs: 5}
+	if unknown.score() <= proven.score() {
+		t.Fatalf("unknown staleness scored %v, proven bound scored %v — unknown must rank last",
+			unknown.score(), proven.score())
+	}
+	if unknown.score() < unknownStalenessPenaltyMs {
+		t.Fatalf("observed unknown staleness scored %v, want >= %v", unknown.score(), unknownStalenessPenaltyMs)
+	}
+	// A never-contacted endpoint stays optimistic so new replicas get
+	// explored — only an endpoint that answered without a bound is
+	// penalized.
+	virgin := &endpointState{stalenessMs: -1}
+	if virgin.score() != 0 {
+		t.Fatalf("unobserved endpoint scored %v, want 0", virgin.score())
+	}
+}
+
+func TestEndpointEvictionAfterConsecutiveFailures(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c, err := Dial(&Options{BaseURL: "http://primary", DisableEBF: true, Clock: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReplicaEndpoints("http://r1")
+	c.mu.Lock()
+	ep := c.replicas[0]
+	c.mu.Unlock()
+
+	// Failures below the threshold get the flat transient penalty.
+	c.noteConnFailure(ep)
+	c.noteConnFailure(ep)
+	if got := c.Stats().EndpointEvictions; got != 0 {
+		t.Fatalf("evictions after %d failures = %d, want 0", evictAfterFailures-1, got)
+	}
+	if !ep.penaltyUntil.Equal(now.Add(replicaPenalty)) {
+		t.Fatalf("pre-threshold penalty until %v, want %v", ep.penaltyUntil, now.Add(replicaPenalty))
+	}
+
+	// The threshold crossing evicts (counted once) and switches to the
+	// exponential re-probe backoff.
+	c.noteConnFailure(ep)
+	if got := c.Stats().EndpointEvictions; got != 1 {
+		t.Fatalf("evictions at threshold = %d, want 1", got)
+	}
+	if !ep.penaltyUntil.Equal(now.Add(evictBackoffBase)) {
+		t.Fatalf("eviction backoff until %v, want %v", ep.penaltyUntil, now.Add(evictBackoffBase))
+	}
+	c.noteConnFailure(ep)
+	if got := c.Stats().EndpointEvictions; got != 1 {
+		t.Fatalf("re-failure double-counted the eviction: %d", got)
+	}
+	if !ep.penaltyUntil.Equal(now.Add(2 * evictBackoffBase)) {
+		t.Fatalf("backoff after another failure until %v, want %v", ep.penaltyUntil, now.Add(2*evictBackoffBase))
+	}
+
+	// The backoff is capped.
+	for i := 0; i < 20; i++ {
+		c.noteConnFailure(ep)
+	}
+	if !ep.penaltyUntil.Equal(now.Add(evictBackoffMax)) {
+		t.Fatalf("capped backoff until %v, want %v", ep.penaltyUntil, now.Add(evictBackoffMax))
+	}
+
+	// An evicted endpoint is out of routing entirely.
+	if got := c.pickReplica(map[string]bool{}); got != nil {
+		t.Fatalf("pickReplica returned the evicted endpoint %q", got.url)
+	}
+
+	// One successful exchange restores liveness.
+	c.observeEndpoint(ep, http.Header{}, time.Millisecond)
+	if ep.consecFails != 0 || !ep.observed {
+		t.Fatalf("success did not reset liveness: fails=%d observed=%v", ep.consecFails, ep.observed)
+	}
+}

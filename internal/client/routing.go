@@ -23,10 +23,28 @@ import (
 // never silently returns an over-bound response.
 
 // replicaPenalty is how long a replica is deprioritized after a
-// transport error or a rejection it could not even bound; long enough to
-// drain a transient fault, short enough to rediscover a recovered
-// replica quickly.
+// rejection it could not even bound; long enough to drain a transient
+// fault, short enough to rediscover a recovered replica quickly.
 const replicaPenalty = 100 * time.Millisecond
+
+// Endpoint liveness: after evictAfterFailures consecutive connection
+// failures an endpoint is treated as down and taken out of routing; it
+// is re-probed with exponential backoff (evictBackoffBase doubling up to
+// evictBackoffMax) instead of the flat transient penalty, so a dead
+// replica stops absorbing one doomed attempt per read while a recovered
+// one is rediscovered within a bounded window.
+const (
+	evictAfterFailures = 3
+	evictBackoffBase   = 500 * time.Millisecond
+	evictBackoffMax    = 30 * time.Second
+)
+
+// unknownStalenessPenaltyMs ranks an endpoint whose staleness is unknown
+// (-1: bootstrapping, or cut off from its primary) behind any replica
+// with a proven bound. Unknown is not fresh — comparing the -1 sentinel
+// numerically would make a replica that cannot prove anything look
+// better than one provably 1ms behind.
+const unknownStalenessPenaltyMs = float64(1 << 20)
 
 // latencyEWMAAlpha weights the newest latency observation.
 const latencyEWMAAlpha = 0.3
@@ -40,6 +58,8 @@ type endpointState struct {
 	appliedSeq   uint64  // last observed applied sequence
 	inflight     int     // requests currently outstanding
 	penaltyUntil time.Time
+	observed     bool // at least one exchange has succeeded
+	consecFails  int  // consecutive connection failures (liveness)
 }
 
 // score ranks endpoints for power-of-two-choices: observed staleness
@@ -49,11 +69,16 @@ type endpointState struct {
 // herd onto whichever endpoint last looked best; outstanding requests
 // are visible the instant they are issued and spread the herd. An
 // endpoint never talked to scores 0 — optimistic, so new replicas get
-// explored.
+// explored; one that answered but could not bound its staleness ranks
+// last, not first.
 func (e *endpointState) score() float64 {
 	s := e.stalenessMs
 	if s < 0 {
-		s = 0
+		if e.observed {
+			s = unknownStalenessPenaltyMs
+		} else {
+			s = 0
+		}
 	}
 	return s + e.latencyMs*float64(1+e.inflight)
 }
@@ -124,7 +149,16 @@ func (c *Client) ReplicaEndpoints() []string {
 // replica endpoints. Deployments that advertise nothing leave routing
 // off.
 func (c *Client) RefreshReplicaSet() error {
-	req, err := http.NewRequest(http.MethodGet, c.opts.BaseURL+"/v1/cluster/replicas", nil)
+	return c.refreshReplicaSetFrom(c.opts.BaseURL)
+}
+
+// refreshReplicaSetFrom is RefreshReplicaSet against an explicit base —
+// after a failover the default endpoint may be the one node that is
+// gone, and the surviving replicas carry the rewritten topology. The
+// advertised primary is remembered as the write-redirect target of last
+// resort.
+func (c *Client) refreshReplicaSetFrom(base string) error {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/cluster/replicas", nil)
 	if err != nil {
 		return err
 	}
@@ -144,6 +178,11 @@ func (c *Client) RefreshReplicaSet() error {
 		return err
 	}
 	c.SetReplicaEndpoints(body.Replicas...)
+	if body.Primary != "" {
+		c.mu.Lock()
+		c.knownPrimary = body.Primary
+		c.mu.Unlock()
+	}
 	return nil
 }
 
@@ -191,11 +230,16 @@ func (c *Client) releaseReplica(ep *endpointState) {
 }
 
 // observeEndpoint folds one exchange's outcome into the endpoint's
-// routing state.
+// routing state. Any completed exchange proves liveness: the
+// consecutive-failure counter resets and the endpoint counts as
+// observed (so an unknown staleness from here on means "cannot prove",
+// not "never asked").
 func (c *Client) observeEndpoint(ep *endpointState, h http.Header, elapsed time.Duration) {
 	ms := float64(elapsed) / float64(time.Millisecond)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ep.observed = true
+	ep.consecFails = 0
 	if ep.latencyMs == 0 {
 		ep.latencyMs = ms
 	} else {
@@ -218,6 +262,32 @@ func (c *Client) penalize(ep *endpointState) {
 	c.mu.Lock()
 	ep.penaltyUntil = until
 	c.mu.Unlock()
+}
+
+// noteConnFailure records a transport-level failure (connection refused,
+// reset, timeout) against an endpoint's liveness. The first failures get
+// the flat transient penalty; at evictAfterFailures consecutive failures
+// the endpoint is evicted and re-probed with exponential backoff.
+func (c *Client) noteConnFailure(ep *endpointState) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep.consecFails++
+	d := replicaPenalty
+	if ep.consecFails >= evictAfterFailures {
+		if ep.consecFails == evictAfterFailures {
+			c.stats.EndpointEvictions++
+		}
+		shift := ep.consecFails - evictAfterFailures
+		if shift > 10 {
+			shift = 10
+		}
+		d = evictBackoffBase << uint(shift)
+		if d > evictBackoffMax {
+			d = evictBackoffMax
+		}
+	}
+	ep.penaltyUntil = now.Add(d)
 }
 
 // observeWriteSeq records a write acknowledgement's sequence as the
@@ -396,7 +466,7 @@ func (c *Client) fetchRecordRouted(path, id, key string, revalidate bool, bound 
 		resp, err := c.sendHdr(ep.url, http.MethodGet, path, nil, revalidate, extra)
 		c.releaseReplica(ep)
 		if err != nil {
-			c.penalize(ep)
+			c.noteConnFailure(ep)
 			continue
 		}
 		c.observeEndpoint(ep, resp.Header, c.opts.Clock().Sub(start))

@@ -113,10 +113,70 @@ func (m *ShardMap) Shard(id string) int {
 // NodeURL returns the base URL serving a shard, or "" when the topology
 // is single-process (route to any node; it proxies internally).
 func (m *ShardMap) NodeURL(shard int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if shard < 0 || shard >= len(m.Nodes) {
 		return ""
 	}
 	return m.Nodes[shard]
+}
+
+// CurrentEpoch reads the map's epoch under the lock. Servers stamp this
+// per response, so an epoch bump (failover, resharding) is visible to
+// clients on the very next exchange.
+func (m *ShardMap) CurrentEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Epoch
+}
+
+// Snapshot returns a detached copy of the map safe to marshal or hand to
+// another goroutine while the original keeps mutating. The ring is not
+// copied; it re-derives from (Shards, VNodes), which never change after
+// construction.
+func (m *ShardMap) Snapshot() *ShardMap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := &ShardMap{Epoch: m.Epoch, Shards: m.Shards, VNodes: m.VNodes}
+	if len(m.Nodes) > 0 {
+		cp.Nodes = append([]string(nil), m.Nodes...)
+	}
+	return cp
+}
+
+// SetTopology adopts a rewritten node list at a new epoch (e.g. pushed by
+// the failover coordinator after promoting replicas). Placement is
+// untouched — the ring depends only on (Shards, VNodes) — so the rewrite
+// changes which endpoint serves each shard, never which shard owns a key.
+// Stale pushes (epoch ≤ current) are ignored; returns whether the map
+// advanced.
+func (m *ShardMap) SetTopology(epoch uint64, nodes []string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if epoch <= m.Epoch {
+		return false
+	}
+	m.Epoch = epoch
+	m.Nodes = append([]string(nil), nodes...)
+	return true
+}
+
+// RewriteNode points one shard at a new endpoint and bumps the epoch,
+// returning the new epoch. Used for single-shard cutovers; whole-topology
+// rewrites go through SetTopology.
+func (m *ShardMap) RewriteNode(shard int, url string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if shard >= 0 {
+		for len(m.Nodes) <= shard && len(m.Nodes) < m.Shards {
+			m.Nodes = append(m.Nodes, "")
+		}
+		if shard < len(m.Nodes) {
+			m.Nodes[shard] = url
+		}
+	}
+	m.Epoch++
+	return m.Epoch
 }
 
 // ParseShardMap decodes a wire-form map (e.g. the /v1/cluster/map

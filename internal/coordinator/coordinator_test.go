@@ -1,0 +1,143 @@
+package coordinator
+
+// Election and option-handling unit tests. The end-to-end cutover (kill
+// a live sharded primary under load) lives in failover_test.go.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quaestor/internal/replication"
+)
+
+func status(state replication.State, seq uint64, staleMs float64) replication.Status {
+	return replication.Status{State: state, LastSeq: seq, StalenessMs: staleMs}
+}
+
+// The -1 sentinel means "never proven caught up" — it must lose to any
+// replica with a proven bound, no matter how far its sequence claims to
+// be, and a shard with only unknown-staleness replicas has no winner.
+func TestElectShardUnknownStalenessIneligible(t *testing.T) {
+	win, ok := electShard([]entry{
+		{endpoint: "http://far-but-unproven", st: status(replication.StateStreaming, 5000, -1), order: 0},
+		{endpoint: "http://proven", st: status(replication.StateStreaming, 10, 3.5), order: 1},
+	})
+	if !ok || win.endpoint != "http://proven" {
+		t.Fatalf("elected %q (ok=%v), want the proven replica", win.endpoint, ok)
+	}
+
+	if _, ok := electShard([]entry{
+		{endpoint: "http://a", st: status(replication.StateStreaming, 100, -1), order: 0},
+		{endpoint: "http://b", st: status(replication.StateBootstrapping, 200, -1), order: 1},
+	}); ok {
+		t.Fatal("shard with only unknown-staleness replicas must have no winner")
+	}
+}
+
+// A bootstrapping replica holds a partial snapshot import and must not
+// win even with a (stale) proven bound; a connecting survivor — the
+// normal state after its primary died — is eligible.
+func TestElectShardStateEligibility(t *testing.T) {
+	if _, ok := electShard([]entry{
+		{endpoint: "http://mid-import", st: status(replication.StateBootstrapping, 900, 2), order: 0},
+	}); ok {
+		t.Fatal("bootstrapping replica must be ineligible")
+	}
+	win, ok := electShard([]entry{
+		{endpoint: "http://survivor", st: status(replication.StateConnecting, 42, 7), order: 0},
+	})
+	if !ok || win.endpoint != "http://survivor" {
+		t.Fatalf("connecting survivor not elected: %q ok=%v", win.endpoint, ok)
+	}
+}
+
+// An already-promoted incumbent wins unconditionally — re-electing a
+// sibling with a longer log would split the brain.
+func TestElectShardIncumbentWins(t *testing.T) {
+	win, ok := electShard([]entry{
+		{endpoint: "http://longer-log", st: status(replication.StateStreaming, 999, 0), order: 0},
+		{endpoint: "http://incumbent", st: status(replication.StatePromoted, 10, 0), order: 1},
+	})
+	if !ok || win.endpoint != "http://incumbent" {
+		t.Fatalf("elected %q, want the promoted incumbent", win.endpoint)
+	}
+}
+
+// Ranking: furthest applied sequence, then tightest proven staleness,
+// then candidate order.
+func TestElectShardRanking(t *testing.T) {
+	win, _ := electShard([]entry{
+		{endpoint: "http://behind", st: status(replication.StateStreaming, 90, 1), order: 0},
+		{endpoint: "http://ahead", st: status(replication.StateStreaming, 100, 50), order: 1},
+	})
+	if win.endpoint != "http://ahead" {
+		t.Fatalf("seq must dominate staleness; elected %q", win.endpoint)
+	}
+	win, _ = electShard([]entry{
+		{endpoint: "http://staler", st: status(replication.StateStreaming, 100, 9), order: 0},
+		{endpoint: "http://fresher", st: status(replication.StateStreaming, 100, 2), order: 1},
+	})
+	if win.endpoint != "http://fresher" {
+		t.Fatalf("staleness must break seq ties; elected %q", win.endpoint)
+	}
+	win, _ = electShard([]entry{
+		{endpoint: "http://first", st: status(replication.StateStreaming, 100, 2), order: 0},
+		{endpoint: "http://second", st: status(replication.StateStreaming, 100, 2), order: 1},
+	})
+	if win.endpoint != "http://first" {
+		t.Fatalf("candidate order must break full ties; elected %q", win.endpoint)
+	}
+}
+
+func TestNewValidatesAndDefaults(t *testing.T) {
+	if _, err := New(Options{Replicas: []string{"http://r"}}); err == nil || !strings.Contains(err.Error(), "Primary") {
+		t.Fatalf("missing primary: err = %v", err)
+	}
+	if _, err := New(Options{Primary: "http://p"}); err == nil || !strings.Contains(err.Error(), "replica") {
+		t.Fatalf("missing replicas: err = %v", err)
+	}
+	c, err := New(Options{Primary: "http://p", Replicas: []string{"http://r"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.HeartbeatInterval != 500*time.Millisecond || c.opts.FailureThreshold != 3 ||
+		c.opts.ProbeTimeout != 2*time.Second || c.opts.MaxBackoff != 5*time.Second {
+		t.Fatalf("defaults not applied: %+v", c.opts)
+	}
+	st := c.Status()
+	if st.State != StateWatching || st.Primary != "http://p" {
+		t.Fatalf("initial status = %+v", st)
+	}
+	// Stop before Run is clean (no loop to wait for).
+	c.Stop()
+	if got := c.Status().State; got != StateStopped {
+		t.Fatalf("state after Stop = %q", got)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	c, err := New(Options{Primary: "http://p", Replicas: []string{"http://r"}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 200; i++ {
+		d := c.jitter(100 * time.Millisecond)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jitter(100ms) = %v, outside ±20%%", d)
+		}
+	}
+}
+
+func TestSameNodes(t *testing.T) {
+	if !sameNodes([]string{"a", "b"}, []string{"a", "b"}) {
+		t.Error("identical lists")
+	}
+	if sameNodes([]string{"a", "b"}, []string{"b", "a"}) {
+		t.Error("order matters: shard i's node is position i")
+	}
+	if sameNodes(nil, []string{"a"}) {
+		t.Error("length mismatch")
+	}
+}

@@ -115,6 +115,12 @@ const (
 	StateStreaming     State = "streaming"
 	StateStopped       State = "stopped"
 	StatePromoted      State = "promoted"
+	// StateDemoted marks a fenced ex-primary: a node that lost a failover
+	// election while unreachable and, having come back, now refuses writes
+	// (503) and advertises its successor via X-Quaestor-Primary. No Replica
+	// loop runs in this state — it names the server-side fence so status
+	// endpoints and stats report the node's role truthfully.
+	StateDemoted State = "demoted"
 )
 
 // Options configures a Replica.
@@ -525,12 +531,21 @@ func (r *Replica) Stop() {
 // at the promoted node with no gap and no re-subscription. Any batch in
 // flight is fully applied before writes are accepted — promotion never
 // tears a batch.
-func (r *Replica) Promote() {
+//
+// Promote is idempotent; it reports whether this call performed the
+// transition (false when the replica was already promoted), so callers
+// retrying a partially applied multi-shard promote can tell a fresh flip
+// from a re-delivery.
+func (r *Replica) Promote() bool {
 	r.Stop()
 	r.db.SetReadOnly(false)
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StatePromoted {
+		return false
+	}
 	r.state = StatePromoted
-	r.mu.Unlock()
+	return true
 }
 
 // Status is a point-in-time view of the replica, served by the replica's

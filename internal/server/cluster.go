@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -61,41 +63,75 @@ func (s *Server) seqPosition() (uint64, []uint64) {
 
 // withShardEpoch stamps every response with the shard-map epoch in
 // sharded mode (so clients can detect a stale cached map) and, on a
-// replica, with the primary's address (so bounced writes can redirect).
-// The replica hint is resolved per request: replicas attach after the
-// handler is built.
+// node that cannot accept writes (following replica or fenced
+// ex-primary), with the primary's address (so bounced writes can
+// redirect). Both are resolved per request: replicas attach, epochs
+// bump (failover map rewrites), and fences land after the handler is
+// built — a cached value would advertise a dead primary or a stale map
+// for the rest of the process lifetime.
 func (s *Server) withShardEpoch(next http.Handler) http.Handler {
-	var epoch string
-	if s.cluster != nil {
-		epoch = strconv.FormatUint(s.cluster.Map().Epoch, 10)
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if epoch != "" {
-			w.Header().Set(HeaderShardEpoch, epoch)
+		if s.cluster != nil {
+			w.Header().Set(HeaderShardEpoch, strconv.FormatUint(s.cluster.Map().CurrentEpoch(), 10))
 		}
-		if repl := s.Replica(); repl != nil {
-			if p := repl.Status().Primary; p != "" {
-				w.Header().Set(HeaderPrimary, p)
-			}
+		if p := s.primaryHint(); p != "" {
+			w.Header().Set(HeaderPrimary, p)
 		}
 		next.ServeHTTP(w, r)
 	})
 }
 
-// handleClusterMap serves GET /v1/cluster/map: the versioned shard map.
-// Unsharded servers answer a 1-shard map, so shard-aware clients work
-// against any topology.
+// handleClusterMap serves the versioned shard map. GET answers a
+// detached snapshot (unsharded servers answer a 1-shard map, so
+// shard-aware clients work against any topology); POST adopts a
+// rewritten topology pushed by the failover coordinator.
 func (s *Server) handleClusterMap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Cache-Control", "no-store")
+		m := cluster.NewShardMap(1)
+		if s.cluster != nil {
+			m = s.cluster.Map().Snapshot()
+		}
+		writeJSON(w, http.StatusOK, m)
+	case http.MethodPost:
+		s.handleClusterMapAdopt(w, r)
+	default:
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST"})
+	}
+}
+
+// handleClusterMapAdopt ingests a rewritten shard map: identical
+// placement parameters (shard count, vnodes — the ring must not move),
+// a new node list, a higher epoch. Stale or already-adopted epochs are
+// acknowledged without applying, so coordinator retries are idempotent.
+func (s *Server) handleClusterMapAdopt(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, &httpError{http.StatusConflict, "server is unsharded; no shard map to rewrite"})
 		return
 	}
-	w.Header().Set("Cache-Control", "no-store")
-	m := cluster.NewShardMap(1)
-	if s.cluster != nil {
-		m = s.cluster.Map()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, badRequest("reading shard map: %v", err))
+		return
 	}
-	writeJSON(w, http.StatusOK, m)
+	nm, err := cluster.ParseShardMap(body)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	cur := s.cluster.Map()
+	if nm.Shards != cur.Shards || (nm.VNodes != 0 && nm.VNodes != cur.VNodes) {
+		writeError(w, &httpError{http.StatusConflict,
+			fmt.Sprintf("placement mismatch: pushed map has %d shards, this node serves %d — map rewrite cannot move placement", nm.Shards, cur.Shards)})
+		return
+	}
+	if len(nm.Nodes) != 0 && len(nm.Nodes) != cur.Shards {
+		writeError(w, badRequest("node list has %d entries for %d shards", len(nm.Nodes), cur.Shards))
+		return
+	}
+	adopted := cur.SetTopology(nm.Epoch, nm.Nodes)
+	writeJSON(w, http.StatusOK, map[string]any{"adopted": adopted, "epoch": cur.CurrentEpoch()})
 }
 
 // replStore resolves the store a replication request targets: ?shard=i in
@@ -150,17 +186,28 @@ type ReplicaSetResponse struct {
 	Replicas []string `json:"replicas"`
 }
 
-// handleClusterReplicas serves GET /v1/cluster/replicas. Nodes with no
-// advertised topology answer an empty set — clients then keep every read
-// on their configured endpoint.
+// handleClusterReplicas serves the advertised read topology. Nodes with
+// no advertised topology answer an empty set — clients then keep every
+// read on their configured endpoint. POST adopts a rewritten topology
+// (the failover coordinator pushes the new primary + surviving replicas
+// to every survivor after a cutover).
 func (s *Server) handleClusterReplicas(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
-		return
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Cache-Control", "no-store")
+		primary, replicas := s.ReplicaEndpoints()
+		writeJSON(w, http.StatusOK, ReplicaSetResponse{Primary: primary, Replicas: replicas})
+	case http.MethodPost:
+		var req ReplicaSetResponse
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, badRequest("decoding replica set: %v", err))
+			return
+		}
+		s.SetReplicaEndpoints(req.Primary, req.Replicas)
+		writeJSON(w, http.StatusOK, map[string]any{"adopted": true})
+	default:
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "GET or POST"})
 	}
-	w.Header().Set("Cache-Control", "no-store")
-	primary, replicas := s.ReplicaEndpoints()
-	writeJSON(w, http.StatusOK, ReplicaSetResponse{Primary: primary, Replicas: replicas})
 }
 
 // ShardReplicas returns the attached per-shard replicas (nil unless this
@@ -193,7 +240,7 @@ func (s *Server) clusterSection() *ClusterSection {
 		return nil
 	}
 	reps := s.ShardReplicas()
-	sec := &ClusterSection{Epoch: s.cluster.Map().Epoch}
+	sec := &ClusterSection{Epoch: s.cluster.Map().CurrentEpoch()}
 	for i, st := range s.cluster.Stores() {
 		sh := ShardSection{
 			Shard:    i,

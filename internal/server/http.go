@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"quaestor/internal/coordinator"
 	"quaestor/internal/document"
 	"quaestor/internal/query"
 	"quaestor/internal/replication"
@@ -58,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/replication/", s.handleReplication)
 	mux.HandleFunc("/v1/cluster/map", s.handleClusterMap)
 	mux.HandleFunc("/v1/cluster/replicas", s.handleClusterReplicas)
+	mux.HandleFunc("/v1/failover/status", s.handleFailoverStatus)
 	return s.withAuth(s.withShardEpoch(mux))
 }
 
@@ -234,6 +236,9 @@ type StatsResponse struct {
 	// aggregation rides in the top-level Stats row counters: scattered
 	// queries sum per-shard RowsExamined/RowsReturned before recording.
 	Cluster *ClusterSection `json:"cluster,omitempty"`
+	// Failover is the attached coordinator's supervision state (probe
+	// counters, election reports); present only on nodes running one.
+	Failover *coordinator.Status `json:"failover,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -252,6 +257,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if repl := s.Replica(); repl != nil {
 		st := repl.Status()
 		resp.Replication = &st
+	}
+	if co := s.Coordinator(); co != nil {
+		st := co.Status()
+		resp.Failover = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -123,6 +123,8 @@ func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
 		s.handleReplStatus(w, r)
 	case "/v1/replication/promote":
 		s.handleReplPromote(w, r)
+	case "/v1/replication/demote":
+		s.handleReplDemote(w, r)
 	default:
 		writeError(w, &httpError{http.StatusNotFound, "unknown replication endpoint"})
 	}
@@ -279,13 +281,16 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 
 // ReplicationRole is the /v1/replication/status body for a primary (a
 // replica answers with its full replication.Status instead; a sharded
-// replica answers with one Status per shard).
+// replica answers with one Status per shard). A fenced ex-primary
+// reports role "demoted" with its successor in Primary.
 type ReplicationRole struct {
 	Role    string `json:"role"`
 	LastSeq uint64 `json:"lastSeq"`
 	// ShardLastSeqs is the per-shard sequence vector on a sharded
 	// primary (absent on single-node deployments).
 	ShardLastSeqs []uint64 `json:"shardLastSeqs,omitempty"`
+	// Primary is the successor a demoted node advertises.
+	Primary string `json:"primary,omitempty"`
 }
 
 func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
@@ -307,20 +312,73 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	last, vector := s.seqPosition()
-	writeJSON(w, http.StatusOK, ReplicationRole{Role: "primary", LastSeq: last, ShardLastSeqs: vector})
+	role := ReplicationRole{Role: "primary", LastSeq: last, ShardLastSeqs: vector}
+	if fenced := s.fencedPrimary(); fenced != "" {
+		role.Role = string(replication.StateDemoted)
+		role.Primary = fenced
+	}
+	writeJSON(w, http.StatusOK, role)
 }
 
+// PromoteOutcome is one shard follower's promote result.
+type PromoteOutcome struct {
+	Shard int `json:"shard"`
+	// Changed is false when the shard was already promoted — the signal
+	// that distinguishes a fresh flip from an idempotent re-delivery
+	// (e.g. a coordinator retrying after a crash mid-promote).
+	Changed bool              `json:"changed"`
+	State   replication.State `json:"state"`
+	LastSeq uint64            `json:"lastSeq"`
+}
+
+// PromoteResponse is the body of POST /v1/replication/promote.
+type PromoteResponse struct {
+	Promoted bool   `json:"promoted"`
+	Changed  bool   `json:"changed"`
+	LastSeq  uint64 `json:"lastSeq"`
+	// Shards carries the per-shard outcomes on a sharded replica. A
+	// whole-node promote that crashes mid-loop leaves a visible partial
+	// state here — re-POSTing is safe (promotes are idempotent) and the
+	// outcomes show exactly which shards flipped when.
+	Shards []PromoteOutcome `json:"shards,omitempty"`
+}
+
+// handleReplPromote promotes this node's follower(s) to writable
+// primaries. Sharded, ?shard=i promotes a single shard (the failover
+// coordinator's per-shard path); without it every shard flips, with a
+// per-shard outcome reported for each so a mid-promote crash cannot
+// produce silent split-brain. All paths are idempotent.
 func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
 		return
 	}
 	if reps := s.ShardReplicas(); len(reps) > 0 {
-		for _, rep := range reps {
-			rep.Promote()
+		sel := -1
+		if v := r.URL.Query().Get("shard"); v != "" {
+			idx, err := strconv.Atoi(v)
+			if err != nil || idx < 0 || idx >= len(reps) {
+				writeError(w, badRequest("invalid shard %q (%d shard followers)", v, len(reps)))
+				return
+			}
+			sel = idx
 		}
-		last, _ := s.seqPosition()
-		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "shards": len(reps), "lastSeq": last})
+		oldPrimary := reps[0].Status().Primary
+		resp := PromoteResponse{Promoted: true}
+		for i, rep := range reps {
+			if sel >= 0 && i != sel {
+				continue
+			}
+			changed := rep.Promote()
+			st := rep.Status()
+			resp.Shards = append(resp.Shards, PromoteOutcome{Shard: i, Changed: changed, State: st.State, LastSeq: st.LastSeq})
+			resp.Changed = resp.Changed || changed
+		}
+		resp.LastSeq, _ = s.seqPosition()
+		if s.allShardsPromoted() {
+			s.noteSelfPromoted(oldPrimary)
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	repl := s.Replica()
@@ -328,8 +386,10 @@ func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{http.StatusConflict, "not a replica"})
 		return
 	}
-	repl.Promote()
-	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "lastSeq": s.db.LastSeq()})
+	oldPrimary := repl.Status().Primary
+	changed := repl.Promote()
+	s.noteSelfPromoted(oldPrimary)
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, Changed: changed, LastSeq: s.db.LastSeq()})
 }
 
 // replicaStatus reports the node's replica view: the attached replica's
@@ -341,18 +401,19 @@ func (s *Server) replicaStatus() (st replication.Status, ok bool) {
 		st = reps[0].Status()
 		for _, rep := range reps[1:] {
 			cur := rep.Status()
-			if cur.StalenessMs > st.StalenessMs {
+			// -1 (unknown) dominates any numeric bound: the node can only
+			// prove what its least-proven shard can — unknown must never
+			// aggregate as "fresher than 0".
+			if cur.StalenessMs < 0 || (st.StalenessMs >= 0 && cur.StalenessMs > st.StalenessMs) {
 				st.StalenessMs = cur.StalenessMs
 			}
 			if cur.LagSeq > st.LagSeq {
 				st.LagSeq = cur.LagSeq
 			}
-			if cur.State != st.State {
-				// Mixed per-shard states collapse to the least-caught-up
-				// one for the header; the status endpoint has the detail.
-				if cur.State != replication.StateStreaming {
-					st.State = cur.State
-				}
+			// Mixed per-shard states collapse to the least-caught-up one
+			// for the header; the status endpoint has the detail.
+			if stateRank(cur.State) > stateRank(st.State) {
+				st.State = cur.State
 			}
 		}
 		return st, true
@@ -362,6 +423,44 @@ func (s *Server) replicaStatus() (st replication.Status, ok bool) {
 		return replication.Status{}, false
 	}
 	return repl.Status(), true
+}
+
+// stateRank orders replica states from most to least caught up, so a
+// mixed-state node (mid-failover: one shard promoted, another still
+// following) collapses to the conservative one for admission and
+// headers.
+func stateRank(st replication.State) int {
+	switch st {
+	case replication.StatePromoted:
+		return 0
+	case replication.StateStreaming:
+		return 1
+	case replication.StateCatchingUp:
+		return 2
+	case replication.StateBootstrapping:
+		return 3
+	case replication.StateConnecting:
+		return 4
+	default: // stopped, demoted, unknown
+		return 5
+	}
+}
+
+// replicaStatusFor is replicaStatus scoped to the shard owning a record:
+// record reads admit against the owning follower's own bound, so one
+// lagging (or unknown-staleness) shard doesn't 412 reads of keys another
+// shard serves provably fresh — and, mid-failover, a shard already
+// promoted on this node admits its keys while its siblings still follow.
+func (s *Server) replicaStatusFor(id string) (replication.Status, bool) {
+	if id != "" && s.cluster != nil {
+		if reps := s.ShardReplicas(); len(reps) > 0 {
+			sh := s.cluster.ShardFor(id)
+			if sh >= 0 && sh < len(reps) && reps[sh] != nil {
+				return reps[sh].Status(), true
+			}
+		}
+	}
+	return s.replicaStatus()
 }
 
 // servingAsReplica reports whether reads served right now come from a
@@ -391,12 +490,21 @@ func (s *Server) addReplicaHeaders(w http.ResponseWriter) {
 // addReplicaHeadersFor is addReplicaHeaders plus the record's
 // applied-sequence annotation: the owning store's newest applied
 // sequence, the value a client compares its read-your-writes floor
-// against.
+// against. The staleness headers come from the owning shard's follower,
+// not the node-wide worst case — per-record reads are admitted per
+// shard, so they must be annotated per shard too.
 func (s *Server) addReplicaHeadersFor(w http.ResponseWriter, id string) {
-	if !s.servingAsReplica() {
+	st, ok := s.replicaStatusFor(id)
+	if !ok || st.State == replication.StatePromoted {
 		return
 	}
-	s.addReplicaHeaders(w)
+	w.Header().Set("X-Quaestor-Replica", string(st.State))
+	if st.StalenessMs >= 0 {
+		w.Header().Set("X-Quaestor-Staleness-Ms", fmt.Sprintf("%.0f", st.StalenessMs))
+	}
+	if st.LagSeq > 0 {
+		w.Header().Set("X-Quaestor-Replica-Lag", strconv.FormatUint(st.LagSeq, 10))
+	}
 	w.Header().Set(HeaderAppliedSeq, strconv.FormatUint(s.dbFor(id).LastSeq(), 10))
 }
 
@@ -414,8 +522,18 @@ func (s *Server) admitRead(w http.ResponseWriter, r *http.Request, id string) bo
 	if maxStr == "" && minStr == "" {
 		return true
 	}
-	st, ok := s.replicaStatus()
-	if !ok || st.State == replication.StatePromoted {
+	st, ok := s.replicaStatusFor(id)
+	if !ok {
+		// A fenced ex-primary stopped receiving writes the moment its
+		// replicas were promoted; it cannot prove any staleness bound.
+		if maxStr != "" && s.fencedPrimary() != "" {
+			s.stalenessRejects.Add(1)
+			writeJSON(w, http.StatusPreconditionFailed, map[string]string{"error": "node is a demoted primary; staleness unbounded"})
+			return false
+		}
+		return true
+	}
+	if st.State == replication.StatePromoted {
 		return true
 	}
 	reject := func(reason string) bool {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"quaestor/internal/cluster"
+	"quaestor/internal/coordinator"
 	"quaestor/internal/document"
 	"quaestor/internal/ebf"
 	"quaestor/internal/invalidb"
@@ -206,6 +207,17 @@ type Server struct {
 	// GET /v1/cluster/replicas (guarded by mu).
 	advPrimary  string
 	advReplicas []string
+	// selfURL is this node's own advertised base URL (SetSelfURL); it
+	// lets a promoted replica advertise itself as the new primary.
+	// Guarded by mu.
+	selfURL string
+	// fencedTo is non-empty once this node has been demoted
+	// (POST /v1/replication/demote): the successor primary every 503
+	// advertises. Guarded by mu.
+	fencedTo string
+	// coord is the attached failover coordinator (AttachCoordinator),
+	// nil on nodes that don't supervise. Guarded by mu.
+	coord *coordinator.Coordinator
 
 	detachStore func()
 	notifyDone  chan struct{}
