@@ -1,0 +1,102 @@
+// quaestor-lint is the project-invariant multichecker: it runs the
+// internal/lint analyzer suite (lockio, stalesentinel, seqpublish,
+// ctxdeadline) over the requested packages and exits non-zero on any
+// unsuppressed finding. CI runs it as a blocking job via scripts/lint.
+//
+// Usage:
+//
+//	quaestor-lint [-only name,name] [-suppressions] [packages...]
+//
+// Packages default to ./... . Findings print as
+// file:line:col: [analyzer] message. Waivers use inline comments of the
+// form `//lint:quaestor <analyzer> -- <justification>` on (or directly
+// above) the offending line; a waiver without a justification is itself
+// a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quaestor/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	listSup := flag.Bool("suppressions", false, "list //lint:quaestor waivers and their justifications instead of linting")
+	help := flag.Bool("help-analyzers", false, "describe each analyzer and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *help {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			fmt.Fprintf(os.Stderr, "quaestor-lint: unknown analyzer(s) in -only: %s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.GoList(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, lp := range pkgs {
+		pkg, err := loader.LoadDir(lp.Dir, lp.ImportPath)
+		if err != nil {
+			fatal(err)
+		}
+		if *listSup {
+			for _, s := range lint.Suppressions(pkg) {
+				fmt.Printf("%s:%d: [%s] %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), s.Reason)
+			}
+			continue
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "quaestor-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quaestor-lint:", err)
+	os.Exit(2)
+}

@@ -87,7 +87,18 @@ type Options struct {
 	// per read via ReadOptions/WithMaxStaleness). Zero keeps reads
 	// unbounded — the SDK's original Δ-atomic behavior.
 	MaxStaleness time.Duration
+	// RequestTimeout bounds every request/response exchange end to end
+	// (connect through body close). Zero picks the 30s default; negative
+	// disables the bound. Streamed queries (QueryStream) are exempt: a
+	// long-lived NDJSON cursor's lifetime belongs to the caller.
+	RequestTimeout time.Duration
 }
+
+// defaultRequestTimeout bounds request/response exchanges when the
+// caller does not choose: generous enough for a large materialized
+// query, small enough that a wedged endpoint cannot park a client
+// goroutine forever (the ctxdeadline lint invariant).
+const defaultRequestTimeout = 30 * time.Second
 
 func (o *Options) withDefaults() Options {
 	out := Options{
@@ -95,6 +106,7 @@ func (o *Options) withDefaults() Options {
 		Transport:       http.DefaultTransport,
 		BaseURL:         "http://quaestor",
 		Clock:           time.Now,
+		RequestTimeout:  defaultRequestTimeout,
 	}
 	if o == nil {
 		return out
@@ -111,6 +123,11 @@ func (o *Options) withDefaults() Options {
 	}
 	if cp.Clock == nil {
 		cp.Clock = out.Clock
+	}
+	if cp.RequestTimeout == 0 {
+		cp.RequestTimeout = defaultRequestTimeout
+	} else if cp.RequestTimeout < 0 {
+		cp.RequestTimeout = 0
 	}
 	return cp
 }
@@ -178,9 +195,13 @@ type ReplicaMeta struct {
 
 // Client is one browser session against a Quaestor deployment.
 type Client struct {
-	opts  Options
-	http  *http.Client
-	local *cache.Cache // browser cache
+	opts Options
+	// http serves request/response exchanges, bounded end to end by
+	// Options.RequestTimeout; stream serves QueryStream's long-lived
+	// NDJSON cursors, whose lifetime the caller owns via DocStream.Close.
+	http   *http.Client
+	stream *http.Client
+	local  *cache.Cache // browser cache
 
 	mu          sync.Mutex
 	view        *ebf.ClientView               // aggregate-filter mode
@@ -210,8 +231,13 @@ type Client struct {
 func Dial(opts *Options) (*Client, error) {
 	o := opts.withDefaults()
 	c := &Client{
-		opts:       o,
-		http:       &http.Client{Transport: o.Transport},
+		opts: o,
+		http: &http.Client{Transport: o.Transport, Timeout: o.RequestTimeout},
+		// A streamed query's body outlives any sane request timeout; the
+		// cursor is closed by the consumer, and a dead peer surfaces as a
+		// transport read error.
+		//lint:quaestor ctxdeadline -- QueryStream cursors are long-lived by design; lifetime is owned by DocStream.Close, not a deadline
+		stream:     &http.Client{Transport: o.Transport},
 		local:      cache.New(cache.ExpirationBased, o.CacheCapacity, o.Clock),
 		ownWrites:  map[string]*document.Document{},
 		highest:    map[string]int64{},
@@ -346,8 +372,15 @@ func (c *Client) do(method, path string, body []byte, revalidate bool) (*http.Re
 //     rewritten map or the advertised primary points — the client half
 //     of an automatic failover cutover.
 func (c *Client) doRouted(method, path string, body []byte, revalidate bool, docID string) (*http.Response, error) {
+	return c.doRoutedOn(c.http, method, path, body, revalidate, docID)
+}
+
+// doRoutedOn is doRouted on an explicit http.Client — the bounded default
+// for request/response exchanges, or the timeout-free stream client for
+// long-lived NDJSON cursors.
+func (c *Client) doRoutedOn(hc *http.Client, method, path string, body []byte, revalidate bool, docID string) (*http.Response, error) {
 	base := c.nodeFor(docID)
-	resp, err := c.send(base, method, path, body, revalidate)
+	resp, err := c.send(hc, base, method, path, body, revalidate)
 	if err != nil {
 		nb, ok := c.failoverBase(base, docID)
 		if !ok {
@@ -357,7 +390,7 @@ func (c *Client) doRouted(method, path string, body []byte, revalidate bool, doc
 		c.stats.FailoverRetries++
 		c.mu.Unlock()
 		base = nb
-		if resp, err = c.send(base, method, path, body, revalidate); err != nil {
+		if resp, err = c.send(hc, base, method, path, body, revalidate); err != nil {
 			return nil, err
 		}
 	}
@@ -368,7 +401,7 @@ func (c *Client) doRouted(method, path string, body []byte, revalidate bool, doc
 			c.stats.ShardRetries++
 			c.mu.Unlock()
 			base = nb
-			resp, err = c.send(base, method, path, body, revalidate)
+			resp, err = c.send(hc, base, method, path, body, revalidate)
 			if err != nil {
 				return nil, err
 			}
@@ -380,20 +413,20 @@ func (c *Client) doRouted(method, path string, body []byte, revalidate bool, doc
 			c.mu.Lock()
 			c.stats.PrimaryRedirects++
 			c.mu.Unlock()
-			return c.send(primary, method, path, body, revalidate)
+			return c.send(hc, primary, method, path, body, revalidate)
 		}
 	}
 	return resp, nil
 }
 
 // send performs one raw exchange against an explicit base URL.
-func (c *Client) send(base, method, path string, body []byte, revalidate bool) (*http.Response, error) {
-	return c.sendHdr(base, method, path, body, revalidate, nil)
+func (c *Client) send(hc *http.Client, base, method, path string, body []byte, revalidate bool) (*http.Response, error) {
+	return c.sendHdr(hc, base, method, path, body, revalidate, nil)
 }
 
 // sendHdr is send with extra request headers (the bounded-read admission
 // headers ride here).
-func (c *Client) sendHdr(base, method, path string, body []byte, revalidate bool, extra http.Header) (*http.Response, error) {
+func (c *Client) sendHdr(hc *http.Client, base, method, path string, body []byte, revalidate bool, extra http.Header) (*http.Response, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
@@ -414,7 +447,7 @@ func (c *Client) sendHdr(base, method, path string, body []byte, revalidate bool
 		c.stats.Revalidations++
 	}
 	c.mu.Unlock()
-	resp, err := c.http.Do(req)
+	resp, err := hc.Do(req)
 	if err == nil {
 		c.observeReplicaHeaders(resp.Header)
 	}
@@ -633,7 +666,9 @@ func (c *Client) observeReplicaHeaders(h http.Header) {
 	c.mu.Lock()
 	c.lastReplica = meta
 	c.stats.ReplicaResponses++
-	if meta.StalenessMs > c.stats.MaxStalenessMs {
+	// StalenessMs == -1 means the replica never proved a bound; unknown
+	// must not fold into the max as if it were a magnitude.
+	if meta.StalenessMs >= 0 && meta.StalenessMs > c.stats.MaxStalenessMs {
 		c.stats.MaxStalenessMs = meta.StalenessMs
 	}
 	c.mu.Unlock()
@@ -990,7 +1025,7 @@ func (c *Client) QueryStream(q *query.Query) (*DocStream, error) {
 	} else {
 		path += "?stream=1"
 	}
-	resp, err := c.do(http.MethodGet, path, nil, false)
+	resp, err := c.doRoutedOn(c.stream, http.MethodGet, path, nil, false, "")
 	if err != nil {
 		return nil, err
 	}

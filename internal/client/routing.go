@@ -463,7 +463,7 @@ func (c *Client) fetchRecordRouted(path, id, key string, revalidate bool, bound 
 		}
 		tried[ep.url] = true
 		start := c.opts.Clock()
-		resp, err := c.sendHdr(ep.url, http.MethodGet, path, nil, revalidate, extra)
+		resp, err := c.sendHdr(c.http, ep.url, http.MethodGet, path, nil, revalidate, extra)
 		c.releaseReplica(ep)
 		if err != nil {
 			c.noteConnFailure(ep)

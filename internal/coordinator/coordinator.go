@@ -174,7 +174,8 @@ func New(opts Options) (*Coordinator, error) {
 		opts.SettleWait = time.Second
 	}
 	if opts.Client == nil {
-		opts.Client = http.DefaultClient
+		//lint:quaestor ctxdeadline -- every coordinator exchange goes through roundTrip, which wraps it in a ProbeTimeout context deadline
+		opts.Client = &http.Client{}
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -546,6 +547,12 @@ func electShard(entries []entry) (entry, bool) {
 		a, b := elig[i], elig[j]
 		if a.st.LastSeq != b.st.LastSeq {
 			return a.st.LastSeq > b.st.LastSeq
+		}
+		// eligible() already rejected the -1 sentinel, but the comparator
+		// must not depend on its caller's filtering: an unknown bound
+		// ranks behind every proven one, never as freshest.
+		if (a.st.StalenessMs < 0) != (b.st.StalenessMs < 0) {
+			return b.st.StalenessMs < 0
 		}
 		if a.st.StalenessMs != b.st.StalenessMs {
 			return a.st.StalenessMs < b.st.StalenessMs

@@ -24,6 +24,7 @@ import (
 	"quaestor/internal/replication"
 	"quaestor/internal/server"
 	"quaestor/internal/store"
+	"quaestor/internal/testutil"
 )
 
 // shadowLog drains one shard store's change subscription into an
@@ -150,6 +151,10 @@ func startCandidate(t *testing.T, primaryURL string, shards int, name string) *c
 // may be invented, and a live SDK client pointed at the dead primary
 // must follow the epoch bump and keep writing.
 func TestCoordinatorAutomaticFailover(t *testing.T) {
+	// Registered first so the leak check runs after every other cleanup:
+	// the coordinator's supervisor/fence goroutines, the shadow drains,
+	// and the replicas' pumps must all be gone once teardown completes.
+	testutil.VerifyNoGoroutineLeaks(t)
 	const shards = 2
 	const writers = 4
 

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeInfo describes a call's resolved target.
+type calleeInfo struct {
+	obj     types.Object // declared func/method, nil for dynamic calls
+	pkgPath string       // defining package path ("" for builtins/dynamic)
+	name    string       // function or method name
+	recv    string       // receiver named-type name ("" for plain funcs)
+	recvPkg string       // receiver type's package path
+	dynamic bool         // callee is a func-typed value (field, var, param)
+	builtin bool
+}
+
+// resolveCallee classifies a call expression using type information.
+func resolveCallee(pass *Pass, call *ast.CallExpr) calleeInfo {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := pass.ObjectOf(f).(type) {
+		case *types.Func:
+			return funcInfo(obj)
+		case *types.Builtin:
+			return calleeInfo{name: obj.Name(), builtin: true}
+		case *types.Var:
+			return calleeInfo{name: f.Name, dynamic: true}
+		case *types.TypeName:
+			return calleeInfo{} // conversion
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[f]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func:
+				return funcInfo(obj)
+			case *types.Var:
+				return calleeInfo{name: f.Sel.Name, dynamic: true}
+			}
+			return calleeInfo{}
+		}
+		// Qualified identifier: pkg.Func, pkg.Var, or a conversion.
+		switch obj := pass.ObjectOf(f.Sel).(type) {
+		case *types.Func:
+			return funcInfo(obj)
+		case *types.Var:
+			return calleeInfo{name: f.Sel.Name, dynamic: true}
+		}
+	}
+	return calleeInfo{dynamic: true}
+}
+
+// funcInfo extracts package, name, and receiver identity from a declared
+// function or method.
+func funcInfo(fn *types.Func) calleeInfo {
+	ci := calleeInfo{obj: fn, name: fn.Name()}
+	if pkg := fn.Pkg(); pkg != nil {
+		ci.pkgPath = pkg.Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ci
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	switch t := rt.(type) {
+	case *types.Named:
+		ci.recv = t.Obj().Name()
+		if pkg := t.Obj().Pkg(); pkg != nil {
+			ci.recvPkg = pkg.Path()
+		}
+	case *types.Interface:
+		// Interface method: identity comes from the method's package.
+		ci.recvPkg = ci.pkgPath
+	}
+	return ci
+}
+
+// namedType returns the named-type name and package path of an
+// expression's (pointer-dereferenced) type, or "","" when unnamed.
+func namedType(pass *Pass, e ast.Expr) (name, pkgPath string) {
+	t := pass.TypeOf(e)
+	return namedOf(t)
+}
+
+func namedOf(t types.Type) (name, pkgPath string) {
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	if pkg := n.Obj().Pkg(); pkg != nil {
+		pkgPath = pkg.Path()
+	}
+	return n.Obj().Name(), pkgPath
+}
+
+// funcBodies yields every function scope in a file: each top-level
+// FuncDecl body plus each FuncLit body, so lock regions and guards never
+// leak across goroutine or callback boundaries by accident.
+func funcBodies(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(fd.Name.Name+":func-literal", lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals — their bodies are separate scopes.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}

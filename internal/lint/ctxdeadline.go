@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CtxDeadline enforces outbound-call deadline discipline in the packages
+// that talk to other nodes: internal/replication, internal/coordinator,
+// and internal/client. PR 4's review fix is the motivating bug: a
+// stalled replica wedged the primary because a transfer had no deadline.
+// Generalized, every outbound http.Client call and net.Dial must be
+// bounded — by a non-zero Client.Timeout or by a context deadline.
+//
+// Rules:
+//
+//  1. every http.Client composite literal must set Timeout (any value —
+//     the configuration is the caller's business, the *presence* is the
+//     discipline); deliberately unbounded clients (long-lived
+//     replication streams) carry a //lint:quaestor justification;
+//  2. http.DefaultClient (and the package-level http.Get/Post/Head
+//     helpers that use it) is banned: it has no timeout and is shared
+//     mutable global state;
+//  3. net.Dial is banned — use net.DialTimeout or a net.Dialer driven
+//     by a deadline-carrying context;
+//  4. a request context built in-function from context.Background(),
+//     context.TODO(), or context.WithCancel of those is deadline-free:
+//     passing it to http.NewRequestWithContext is a finding unless the
+//     variable was rebound via WithTimeout/WithDeadline first. Contexts
+//     received as parameters are trusted (the caller owns the bound).
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc: "outbound HTTP calls and dials in replication/coordinator/client " +
+		"must carry a context deadline or a non-zero http.Client Timeout",
+	Packages: []string{"internal/replication", "internal/coordinator", "internal/client"},
+	Run:      runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				checkClientLit(pass, x)
+			case *ast.SelectorExpr:
+				if isPkgObject(pass, x, "net/http", "DefaultClient") {
+					pass.Reportf(x.Pos(), "http.DefaultClient has no Timeout (and is shared global state) — construct a client with an explicit Timeout or per-request deadlines")
+				}
+			case *ast.CallExpr:
+				ci := resolveCallee(pass, x)
+				if ci.pkgPath == "net/http" && ci.recv == "" &&
+					(ci.name == "Get" || ci.name == "Post" || ci.name == "Head" || ci.name == "PostForm") {
+					pass.Reportf(x.Pos(), "http.%s uses the timeout-free DefaultClient — build a request on a client with a Timeout or a deadline context", ci.name)
+				}
+				if ci.pkgPath == "net" && ci.recv == "" && ci.name == "Dial" {
+					pass.Reportf(x.Pos(), "net.Dial has no deadline — use net.DialTimeout or a net.Dialer with DialContext and a deadline-carrying context")
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCtxFlow(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkClientLit flags http.Client{...} literals without a Timeout key.
+func checkClientLit(pass *Pass, lit *ast.CompositeLit) {
+	name, pkg := namedOf(pass.TypeOf(lit))
+	if pkg != "net/http" || name != "Client" {
+		return
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+				return
+			}
+		}
+	}
+	pass.Reportf(lit.Pos(), "http.Client constructed without a Timeout — outbound calls must be bounded by Client.Timeout or per-request context deadlines")
+}
+
+// isPkgObject reports whether sel is a qualified reference to
+// pkgPath.objName.
+func isPkgObject(pass *Pass, sel *ast.SelectorExpr, pkgPath, objName string) bool {
+	if sel.Sel.Name != objName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// ctxEvent is one position-ordered fact about context flow in a function.
+type ctxEvent struct {
+	pos token.Pos
+	// assign: obj rebound to a deadline-free (or -ful) context
+	assign       types.Object
+	deadlineFree bool
+	// use: NewRequestWithContext with this ctx argument
+	use     *ast.CallExpr
+	ctxArg  ast.Expr
+	isUse   bool
+	isAssig bool
+}
+
+// checkCtxFlow tracks, per function, which context variables are
+// provably deadline-free and flags requests built on them.
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
+	var events []ctxEvent
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// ctx, cancel := context.WithCancel(...) / WithTimeout(...)
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			class, known := ctxConstructorClass(pass, call)
+			if !known || len(x.Lhs) == 0 {
+				return true
+			}
+			if id, ok := x.Lhs[0].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					events = append(events, ctxEvent{pos: x.Pos(), assign: obj, deadlineFree: class, isAssig: true})
+				}
+			}
+		case *ast.CallExpr:
+			ci := resolveCallee(pass, x)
+			if ci.pkgPath == "net/http" && ci.recv == "" && ci.name == "NewRequestWithContext" && len(x.Args) > 0 {
+				events = append(events, ctxEvent{pos: x.Pos(), use: x, ctxArg: x.Args[0], isUse: true})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	free := map[types.Object]bool{}
+	for _, ev := range events {
+		if ev.isAssig {
+			free[ev.assign] = ev.deadlineFree
+			continue
+		}
+		arg := ast.Unparen(ev.ctxArg)
+		// Inline context.Background()/TODO()/WithCancel(...)
+		if call, ok := arg.(*ast.CallExpr); ok {
+			if df, known := ctxConstructorClass(pass, call); known && df {
+				pass.Reportf(ev.use.Pos(), "request context has no deadline — wrap with context.WithTimeout/WithDeadline (or justify with //lint:quaestor)")
+			}
+			continue
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				if df, tracked := free[obj]; tracked && df {
+					pass.Reportf(ev.use.Pos(), "request context %q was built without a deadline in this function — wrap with context.WithTimeout/WithDeadline (or justify with //lint:quaestor)", id.Name)
+				}
+			}
+		}
+	}
+}
+
+// ctxConstructorClass classifies a context-constructor call:
+// (deadlineFree=true, known=true) for Background/TODO/WithCancel,
+// (false, true) for WithTimeout/WithDeadline, (_, false) otherwise.
+func ctxConstructorClass(pass *Pass, call *ast.CallExpr) (deadlineFree, known bool) {
+	ci := resolveCallee(pass, call)
+	if ci.pkgPath != "context" {
+		return false, false
+	}
+	switch ci.name {
+	case "Background", "TODO", "WithCancel":
+		return true, true
+	case "WithTimeout", "WithDeadline":
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest: each fixture package
+// under testdata/src pairs violating shapes with their fixed forms, and
+// `// want` comments assert the expected diagnostics by line. A want
+// comment carries one backtick-quoted regexp per expected diagnostic on
+// that line; the regexp is matched (unanchored) against
+// "[analyzer] message".
+var fixtureCases = []struct {
+	importPath string
+	analyzers  []*Analyzer
+}{
+	{"lockio/internal/store", []*Analyzer{LockIO}},
+	{"seqpublish/internal/store", []*Analyzer{SeqPublish}},
+	{"stalesentinel/internal/status", []*Analyzer{StaleSentinel}},
+	{"ctxdeadline/internal/replication", []*Analyzer{CtxDeadline}},
+	{"suppress/internal/store", []*Analyzer{LockIO}},
+}
+
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range fixtureCases {
+		t.Run(strings.ReplaceAll(tc.importPath, "/", "_"), func(t *testing.T) {
+			pkg, err := loader.LoadFixture(root, tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := Run(pkg, tc.analyzers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := parseWants(pkg)
+			for _, d := range diags {
+				k := wantKey{file: d.Pos.Filename, line: d.Pos.Line}
+				if !matchWant(wants, k, "["+d.Analyzer+"] "+d.Message) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for k, res := range wants {
+				for _, re := range res {
+					t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionsRecorded asserts the audit surface: a justified waiver
+// is listed with its analyzer and reason.
+func TestSuppressionsRecorded(t *testing.T) {
+	loader, err := NewLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadFixture(root, "suppress/internal/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := Suppressions(pkg)
+	if len(sups) != 4 {
+		t.Fatalf("got %d suppressions, want 4", len(sups))
+	}
+	var justified *Suppression
+	for i := range sups {
+		if strings.Contains(sups[i].Reason, "snapshot critical section") {
+			justified = &sups[i]
+		}
+	}
+	if justified == nil {
+		t.Fatal("justified waiver not found in audit listing")
+	}
+	if len(justified.Analyzers) != 1 || justified.Analyzers[0] != "lockio" {
+		t.Errorf("justified waiver analyzers = %v, want [lockio]", justified.Analyzers)
+	}
+	if justified.Reason != "fixture: fsync must ride inside the snapshot critical section" {
+		t.Errorf("justified waiver reason = %q", justified.Reason)
+	}
+}
+
+// TestLiveTreeClean runs the full suite over the real module: every
+// invariant holds (or carries a justified waiver). Skipped under -short —
+// it type-checks the whole tree.
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree type-check: skipped in -short")
+	}
+	loader, err := NewLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := GoList("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range pkgs {
+		pkg, err := loader.LoadDir(lp.Dir, lp.ImportPath)
+		if err != nil {
+			t.Fatalf("load %s: %v", lp.ImportPath, err)
+		}
+		diags, err := Run(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// parseWants extracts `// want` expectations from a package's comments,
+// keyed by file:line.
+func parseWants(pkg *Package) map[wantKey][]string {
+	out := map[wantKey][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := wantKey{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					out[k] = append(out[k], m[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matchWant consumes the first expectation on k's line matching text.
+func matchWant(wants map[wantKey][]string, k wantKey, text string) bool {
+	for i, re := range wants[k] {
+		ok, err := regexp.MatchString(re, text)
+		if err != nil {
+			panic(fmt.Sprintf("bad want regexp %q: %v", re, err))
+		}
+		if ok {
+			wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+			if len(wants[k]) == 0 {
+				delete(wants, k)
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,253 @@
+// Package lint is quaestor's project-invariant analyzer suite: a small
+// go/analysis-style framework plus four analyzers that encode invariants
+// this codebase has already been burned by (see README "Static
+// analysis"). The framework is hand-rolled on the standard library's
+// go/ast + go/types instead of golang.org/x/tools/go/analysis so the
+// module stays dependency-free and the checker builds hermetically; the
+// Analyzer/Pass surface mirrors x/tools closely enough that migrating to
+// the real multichecker later is mechanical.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:quaestor suppression comments.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path
+	// ends with one of these suffixes (segment-aligned: "internal/store"
+	// matches "quaestor/internal/store" but not "x/notinternal/store").
+	// Empty means every package.
+	Packages []string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// applies reports whether the analyzer should run on a package path.
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suf := range a.Packages {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned for file:line reporting.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves an expression's type (nil when unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier's object (nil when unknown).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// Run executes the analyzers that apply to pkg, filters suppressed
+// findings, and returns the surviving diagnostics sorted by position.
+// Suppressions that name no analyzer or carry no justification are
+// themselves reported as findings, and so is a well-formed suppression
+// that silences nothing (checked only when every analyzer it names
+// actually ran, so partial `-only` runs don't cry stale): a reasonless
+// or stale escape hatch is a bug of its own.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if !a.applies(pkg.Path) {
+			continue
+		}
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	sups := collectSuppressions(pkg)
+	used := make([]bool, len(sups))
+	kept := diags[:0]
+	for _, d := range diags {
+		if i := suppressedBy(sups, d); i >= 0 {
+			used[i] = true
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	for i, s := range sups {
+		if s.malformed != "" {
+			diags = append(diags, Diagnostic{
+				Analyzer: "suppression",
+				Pos:      s.pos,
+				Message:  s.malformed,
+			})
+			continue
+		}
+		if used[i] {
+			continue
+		}
+		checkable := true
+		for _, n := range s.Analyzers {
+			if !ran[n] {
+				checkable = false
+			}
+		}
+		if checkable {
+			diags = append(diags, Diagnostic{
+				Analyzer: "suppression",
+				Pos:      s.pos,
+				Message:  "suppression silences no finding — stale waivers hide future regressions; remove it or re-point it at the offending line",
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return diags, nil
+}
+
+// Suppression is one parsed //lint:quaestor comment. The accepted form is
+//
+//	//lint:quaestor <analyzer>[,<analyzer>...] -- <justification>
+//
+// and it silences the named analyzers' findings on the same line or on
+// the line directly below (comment-above style). The justification is
+// mandatory: the comment records *why* the invariant is waived here.
+type Suppression struct {
+	Analyzers []string
+	Reason    string
+	File      string
+	Line      int
+
+	pos       token.Position
+	malformed string
+}
+
+const suppressPrefix = "//lint:quaestor"
+
+// Suppressions returns the parsed //lint:quaestor comments of a package,
+// for tooling and tests that audit recorded waivers.
+func Suppressions(pkg *Package) []Suppression {
+	return collectSuppressions(pkg)
+}
+
+func collectSuppressions(pkg *Package) []Suppression {
+	var out []Suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s := Suppression{File: pos.Filename, Line: pos.Line, pos: pos}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, suppressPrefix))
+				names, reason, ok := strings.Cut(rest, "--")
+				reason = strings.TrimSpace(reason)
+				if !ok || reason == "" {
+					s.malformed = "suppression comment has no justification (want `//lint:quaestor <analyzer> -- <reason>`)"
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						s.Analyzers = append(s.Analyzers, n)
+					}
+				}
+				if len(s.Analyzers) == 0 && s.malformed == "" {
+					s.malformed = "suppression comment names no analyzer (want `//lint:quaestor <analyzer> -- <reason>`)"
+				}
+				s.Reason = reason
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// suppressedBy returns the index of the first suppression silencing d,
+// or -1.
+func suppressedBy(sups []Suppression, d Diagnostic) int {
+	for i, s := range sups {
+		if s.malformed != "" || s.File != d.Pos.Filename {
+			continue
+		}
+		if s.Line != d.Pos.Line && s.Line != d.Pos.Line-1 {
+			continue
+		}
+		for _, n := range s.Analyzers {
+			if n == d.Analyzer {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{LockIO, StaleSentinel, SeqPublish, CtxDeadline}
+}

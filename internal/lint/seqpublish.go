@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeqPublish enforces the commit-pipeline publication contract in
+// internal/store and internal/cluster: committed events reach
+// subscribers only through the Sequencer's exported APIs (Publish,
+// PublishAll, PublishBatch, PublishSynthetic), which restore strict
+// global Seq order behind racing writers. Three shapes violate it:
+//
+//  1. a direct (*commitlog.Log).Append — the raw ring append the
+//     Sequencer exists to guard; racing writers reach it with their
+//     Seqs swapped (the pre-PR-3 ordering bug);
+//  2. a raw channel send of commitlog events — subscribers are fed by
+//     the Log's per-subscriber pump goroutines, never by producers;
+//  3. a publish/emit/notify-style call made after a shard or snapshot
+//     mutex was explicitly unlocked, unless it targets the Sequencer or
+//     Log — the PR 3 unlock-then-publish race, where two writers could
+//     release their shard locks and publish in swapped order.
+var SeqPublish = &Analyzer{
+	Name: "seqpublish",
+	Doc: "commit-pipeline events may only be published through Sequencer/commitlog " +
+		"exported APIs, never by direct ring append or post-unlock publish",
+	Packages: []string{"internal/store", "internal/cluster"},
+	Run:      runSeqPublish,
+}
+
+// commitlogPkg reports whether a package path is the commit-log package
+// (real tree or fixture).
+func commitlogPkg(path string) bool {
+	return path == "internal/commitlog" || strings.HasSuffix(path, "/internal/commitlog")
+}
+
+// isCommitlogEventType reports whether t is (a slice/pointer of) the
+// commitlog Event type, through aliases like store.ChangeEvent.
+func isCommitlogEventType(t types.Type) bool {
+	switch x := t.(type) {
+	case *types.Slice:
+		return isCommitlogEventType(x.Elem())
+	case *types.Pointer:
+		return isCommitlogEventType(x.Elem())
+	case *types.Named:
+		if pkg := x.Obj().Pkg(); pkg != nil && commitlogPkg(pkg.Path()) && x.Obj().Name() == "Event" {
+			return true
+		}
+	}
+	return false
+}
+
+func runSeqPublish(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkSeqPublishScope(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkSeqPublishScope(pass *Pass, body *ast.BlockStmt) {
+	// unlockedAt records the position of the first explicit (non-defer)
+	// Unlock of a tracked mutex in this scope; publishes after it are
+	// suspect.
+	var unlockedAt token.Pos
+	inspectShallow(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			return false // deferred unlocks close the region at exit, not here
+		case *ast.SendStmt:
+			t := pass.TypeOf(x.Chan)
+			if ch, ok := t.(*types.Chan); ok && isCommitlogEventType(ch.Elem()) {
+				pass.Reportf(x.Arrow, "raw channel send of commit-pipeline events — subscribers are fed by the Log's pump goroutines; hand events to the Sequencer instead")
+			}
+		case *ast.CallExpr:
+			ci := resolveCallee(pass, x)
+			switch {
+			case ci.recv == "Log" && commitlogPkg(ci.recvPkg) && ci.name == "Append":
+				pass.Reportf(x.Pos(), "direct commitlog.Log.Append bypasses the Sequencer's ordering guarantee — publish through Sequencer.Publish/PublishAll/PublishBatch/PublishSynthetic")
+			case isUnlockOf(pass, x, lockIOMutexNames):
+				if unlockedAt == token.NoPos {
+					unlockedAt = x.Pos()
+				}
+			case unlockedAt != token.NoPos && x.Pos() > unlockedAt && isPublishLike(ci):
+				if ci.recv == "Sequencer" && commitlogPkg(ci.recvPkg) {
+					break // the sanctioned path: the Sequencer restores order
+				}
+				if ci.recv == "Log" && commitlogPkg(ci.recvPkg) {
+					break // already reported above if it was Append
+				}
+				pass.Reportf(x.Pos(), "publish-style call after unlocking a shard/snapshot mutex — racing writers can publish in swapped order; stamp under the lock and hand the event to the Sequencer")
+			}
+		}
+		return true
+	})
+}
+
+// isUnlockOf recognizes X.Unlock()/X.RUnlock() on a tracked mutex.
+func isUnlockOf(pass *Pass, call *ast.CallExpr, names map[string]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	var name string
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	if !names[name] {
+		return false
+	}
+	tn, tp := namedType(pass, sel.X)
+	return tp == "sync" && (tn == "Mutex" || tn == "RWMutex")
+}
+
+// isPublishLike matches method names that smell like subscriber fan-out.
+func isPublishLike(ci calleeInfo) bool {
+	n := strings.ToLower(ci.name)
+	switch n {
+	case "publish", "publishall", "publishbatch", "publishsynthetic",
+		"emit", "notify", "fanout", "broadcastevent":
+		return true
+	}
+	return false
+}

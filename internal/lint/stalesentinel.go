@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// StaleSentinel enforces the staleness-sentinel discipline: StalenessMs
+// uses -1 to mean "unknown — the replica has never proven a bound", and
+// a numeric comparison that treats it as a plain magnitude ranks unknown
+// as *freshest* (-1 < every real bound). That is the PR 9 bug class: the
+// pre-PR-9 status aggregation folded `min(StalenessMs)` across shards
+// and reported an unbounded replica as perfectly fresh.
+//
+// The rule: every ordering comparison (<, >, <=, >=, and min/max folds)
+// on a field or variable named StalenessMs/stalenessMs/Staleness must be
+// dominated by an explicit sentinel guard — a comparison of the same
+// expression against a non-positive constant (`< 0`, `>= 0`, `== -1`)
+// appearing earlier in the same top-level function. Comparisons against
+// non-positive constants are themselves guards, never findings.
+// Domination is approximated lexically (the guard precedes the use in
+// the same function declaration), which accepts every guarded shape in
+// this codebase — `cur.StalenessMs < 0 || (st.StalenessMs >= 0 &&
+// cur.StalenessMs > st.StalenessMs)` — while still catching the
+// unguarded fold.
+var StaleSentinel = &Analyzer{
+	Name: "stalesentinel",
+	Doc: "ordering comparisons on StalenessMs must be dominated by an " +
+		"explicit < 0 / == -1 sentinel guard in the same function",
+	Run: runStaleSentinel,
+}
+
+var stalenessNames = map[string]bool{
+	"StalenessMs": true,
+	"stalenessMs": true,
+	"Staleness":   true,
+}
+
+func runStaleSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStaleFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// stalenessExpr reports whether e names a staleness field or variable,
+// returning its canonical text for guard matching.
+func stalenessExpr(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if stalenessNames[x.Name] {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if stalenessNames[x.Sel.Name] {
+			return types.ExprString(x), true
+		}
+	}
+	return "", false
+}
+
+// nonPositiveConst reports whether e is a constant numeric expression
+// with value <= 0 (the sentinel guard's comparand: 0 or -1).
+func nonPositiveConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f <= 0
+}
+
+func isOrderingOp(op token.Token) bool {
+	return op == token.LSS || op == token.GTR || op == token.LEQ || op == token.GEQ
+}
+
+func isComparisonOp(op token.Token) bool {
+	return isOrderingOp(op) || op == token.EQL || op == token.NEQ
+}
+
+func checkStaleFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: collect sentinel guards (staleness expr vs non-positive
+	// constant) with their positions. Guards inside nested function
+	// literals count for the whole declaration: a comparator literal's
+	// own guard and a guard in the enclosing function are both
+	// legitimate dominators at this approximation level.
+	type guard struct {
+		text string
+		pos  token.Pos
+	}
+	var guards []guard
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparisonOp(be.Op) {
+			return true
+		}
+		if text, ok := stalenessExpr(be.X); ok && nonPositiveConst(pass, be.Y) {
+			guards = append(guards, guard{text: text, pos: be.Pos()})
+		}
+		if text, ok := stalenessExpr(be.Y); ok && nonPositiveConst(pass, be.X) {
+			guards = append(guards, guard{text: text, pos: be.Pos()})
+		}
+		return true
+	})
+	dominated := func(text string, pos token.Pos) bool {
+		for _, g := range guards {
+			if g.text == text && g.pos < pos {
+				return true
+			}
+		}
+		return false
+	}
+	requireGuard := func(e ast.Expr, pos token.Pos, what string) {
+		text, ok := stalenessExpr(e)
+		if !ok {
+			return
+		}
+		if !dominated(text, pos) {
+			pass.Reportf(pos, "%s on %s without a preceding `< 0` / `== -1` sentinel guard in this function — StalenessMs == -1 means unknown, and unknown must not rank as freshest", what, text)
+		}
+	}
+
+	// Pass 2: flag undominated ordering comparisons and min/max folds.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if !isOrderingOp(x.Op) {
+				return true
+			}
+			// A guard is never a finding.
+			if _, ok := stalenessExpr(x.X); ok && nonPositiveConst(pass, x.Y) {
+				return true
+			}
+			if _, ok := stalenessExpr(x.Y); ok && nonPositiveConst(pass, x.X) {
+				return true
+			}
+			requireGuard(x.X, x.Pos(), "numeric comparison")
+			requireGuard(x.Y, x.Pos(), "numeric comparison")
+		case *ast.CallExpr:
+			ci := resolveCallee(pass, x)
+			isFold := (ci.builtin && (ci.name == "min" || ci.name == "max")) ||
+				(ci.pkgPath == "math" && (ci.name == "Min" || ci.name == "Max"))
+			if !isFold {
+				return true
+			}
+			for _, arg := range x.Args {
+				requireGuard(arg, x.Pos(), ci.name+" fold")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,58 @@
+// Fixture for the ctxdeadline analyzer: outbound HTTP and dials in the
+// node-to-node packages must be bounded by a Client.Timeout or a context
+// deadline (PR 4's stalled-transfer bug).
+package replication
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// noTimeoutClient is the PR 4 shape: a transfer client with no bound.
+var noTimeoutClient = &http.Client{} // want `http\.Client constructed without a Timeout`
+
+// boundedClient carries the discipline; the value is the caller's
+// business, the presence is the invariant.
+var boundedClient = &http.Client{Timeout: 5 * time.Second}
+
+// defaultClient is banned: no timeout, shared global state.
+func defaultClient() *http.Client {
+	return http.DefaultClient // want `http\.DefaultClient has no Timeout`
+}
+
+// helperGet rides the DefaultClient too.
+func helperGet(url string) {
+	http.Get(url) // want `http\.Get uses the timeout-free DefaultClient`
+}
+
+// rawDial has no deadline.
+func rawDial(addr string) {
+	net.Dial("tcp", addr) // want `net\.Dial has no deadline`
+}
+
+// deadlineFreeRequest builds a request on a WithCancel context — cancel
+// frees resources but never fires on its own, so the call can hang.
+func deadlineFreeRequest(url string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	http.NewRequestWithContext(ctx, http.MethodGet, url, nil) // want `request context "ctx" was built without a deadline`
+}
+
+// boundedRequest rebinds via WithTimeout — the fixed form.
+func boundedRequest(url string) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// paramCtx is trusted: the caller owns the bound.
+func paramCtx(ctx context.Context, url string) {
+	http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// inlineBackground passes a deadline-free context inline.
+func inlineBackground(url string) {
+	http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil) // want `request context has no deadline`
+}

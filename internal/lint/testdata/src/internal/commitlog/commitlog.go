@@ -1,0 +1,49 @@
+// Package commitlog is a fixture stand-in for quaestor/internal/commitlog:
+// just enough surface for the analyzer fixtures to type-check. The
+// analyzers identify the real package by path suffix, so this copy under
+// testdata/src exercises the same code paths.
+package commitlog
+
+import "sync"
+
+// Event is one committed change record.
+type Event struct {
+	Seq   uint64
+	Table string
+	ID    string
+}
+
+// Log is the subscriber ring. Append is the raw entry point the
+// Sequencer exists to guard.
+type Log struct {
+	mu   sync.Mutex
+	ring []Event
+}
+
+// Append places one event on the ring.
+func (l *Log) Append(ev Event) {
+	l.mu.Lock()
+	l.ring = append(l.ring, ev)
+	l.mu.Unlock()
+}
+
+// Sequencer restores global Seq order behind racing writers; its exported
+// Publish* methods are the sanctioned publication surface.
+type Sequencer struct {
+	mu  sync.Mutex
+	log *Log
+}
+
+// Publish hands one stamped event to the ordered pipeline.
+func (s *Sequencer) Publish(ev Event) {
+	s.mu.Lock()
+	s.log.Append(ev)
+	s.mu.Unlock()
+}
+
+// PublishAll publishes a batch in order.
+func (s *Sequencer) PublishAll(evs []Event) {
+	for _, ev := range evs {
+		s.Publish(ev)
+	}
+}

@@ -1,0 +1,102 @@
+// Fixture for the lockio analyzer: I/O and blocking calls under the
+// hot-path mutexes. Each violating function is paired with its fixed
+// form, mirroring the historical bug and the shape the repo settled on.
+package store
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu     sync.RWMutex
+	snapMu sync.Mutex
+	f      *os.File
+}
+
+// fsyncUnderLock is the historical bug shape: the fsync rides inside the
+// shard critical section, stalling every writer behind disk latency.
+func (s *shard) fsyncUnderLock() {
+	s.mu.Lock()
+	s.f.Sync() // want `fsync \(os\.File\.Sync\) while "s\.mu" is held`
+	s.mu.Unlock()
+}
+
+// fsyncAfterUnlock is the fixed form: stamp under the lock, sync after.
+func (s *shard) fsyncAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.f.Sync()
+}
+
+// deferHoldsToEnd: a deferred unlock keeps the region open to the end of
+// the function, so the sleep is still under the lock.
+func (s *shard) deferHoldsToEnd() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while "s\.mu" is held`
+}
+
+// guardClause: an early-return unlock must not clear the outer region —
+// the fallthrough path still holds the lock.
+func (s *shard) guardClause(bad bool) {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	conn, _ := net.Dial("tcp", "localhost:0") // want `network I/O \(net\.Dial\) while "s\.mu" is held`
+	_ = conn
+	s.mu.Unlock()
+}
+
+// readLockToo: RLock regions are tracked just like Lock.
+func (s *shard) readLockToo() {
+	s.mu.RLock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while "s\.mu" is held`
+	s.mu.RUnlock()
+}
+
+// snapMuToo: the snapshot mutex is a tracked name as well.
+func (s *shard) snapMuToo() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while "s\.snapMu" is held`
+}
+
+// blockingSend: a bare channel send under the lock can block forever
+// behind a slow subscriber.
+func (s *shard) blockingSend(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `blocking channel send while "s\.mu" is held`
+	s.mu.Unlock()
+}
+
+// nonBlockingSend is exempt: a select with a default clause cannot block.
+func (s *shard) nonBlockingSend(ch chan int) {
+	s.mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// goroutineIsSeparate: a function literal body is its own scope — the
+// spawned goroutine does not inherit the caller's lock region.
+func (s *shard) goroutineIsSeparate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// untrackedMutex: only the hot-path names (mu, snapMu) are tracked.
+func untrackedMutex(statsMu *sync.Mutex) {
+	statsMu.Lock()
+	time.Sleep(time.Millisecond)
+	statsMu.Unlock()
+}

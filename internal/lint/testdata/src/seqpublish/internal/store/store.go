@@ -1,0 +1,69 @@
+// Fixture for the seqpublish analyzer: the commit-pipeline publication
+// contract. Committed events reach subscribers only through the
+// Sequencer's exported APIs; the violating shapes are the pre-PR-3
+// ordering bugs.
+package store
+
+import (
+	"sync"
+
+	"internal/commitlog"
+)
+
+// ChangeEvent aliases the commitlog event like the real store does; the
+// analyzer sees through the alias.
+type ChangeEvent = commitlog.Event
+
+type Store struct {
+	mu   sync.Mutex
+	log  *commitlog.Log
+	seqr *commitlog.Sequencer
+	subs chan commitlog.Event
+}
+
+// directAppend is the raw ring append the Sequencer exists to guard:
+// racing writers reach it with their Seqs swapped.
+func (s *Store) directAppend(ev commitlog.Event) {
+	s.log.Append(ev) // want `direct commitlog\.Log\.Append bypasses the Sequencer`
+}
+
+// rawSend feeds a subscriber channel directly instead of letting the
+// Log's pump goroutines deliver.
+func (s *Store) rawSend(ev ChangeEvent) {
+	s.subs <- ev // want `raw channel send of commit-pipeline events`
+}
+
+// unlockThenPublish is the PR 3 race: two writers can release their
+// shard locks and fan out in swapped order.
+func (s *Store) unlockThenPublish(ev commitlog.Event) {
+	s.mu.Lock()
+	ev.Seq = 1
+	s.mu.Unlock()
+	s.publish(ev) // want `publish-style call after unlocking a shard/snapshot mutex`
+}
+
+func (s *Store) publish(ev commitlog.Event) {}
+
+// sequencerPublish is the sanctioned path: stamp under the lock, hand
+// the event to the Sequencer after — it restores global order.
+func (s *Store) sequencerPublish(ev commitlog.Event) {
+	s.mu.Lock()
+	ev.Seq = 2
+	s.mu.Unlock()
+	s.seqr.Publish(ev)
+}
+
+// batchViaSequencer: the batch variant is sanctioned too.
+func (s *Store) batchViaSequencer(evs []commitlog.Event) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.seqr.PublishAll(evs)
+}
+
+// publishBeforeUnlock: a local fan-out before any unlock is not the
+// post-unlock race (lockio owns what happens inside the region).
+func (s *Store) publishBeforeUnlock(ev commitlog.Event) {
+	s.publish(ev)
+	s.mu.Lock()
+	s.mu.Unlock()
+}

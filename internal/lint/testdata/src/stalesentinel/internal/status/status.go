@@ -1,0 +1,63 @@
+// Fixture for the stalesentinel analyzer: StalenessMs == -1 means
+// "unknown — never proven", and ordering comparisons that treat it as a
+// magnitude rank unknown as freshest (the PR 9 aggregation bug).
+package status
+
+type shardStatus struct {
+	StalenessMs float64
+	LastSeq     uint64
+}
+
+// worstUnguarded is the pre-PR-9 fold: min() across shards reports an
+// unbounded replica as perfectly fresh.
+func worstUnguarded(a, b shardStatus) float64 {
+	return min(a.StalenessMs, b.StalenessMs) // want `min fold on a\.StalenessMs` `min fold on b\.StalenessMs`
+}
+
+// guardedFold is the fixed aggregation: fold only proven bounds.
+func guardedFold(a, b shardStatus) float64 {
+	if a.StalenessMs < 0 || b.StalenessMs < 0 {
+		return -1
+	}
+	return max(a.StalenessMs, b.StalenessMs)
+}
+
+// compareUnguarded ranks unknown as freshest — both operands lack a
+// dominating sentinel guard.
+func compareUnguarded(a, b shardStatus) bool {
+	return a.StalenessMs < b.StalenessMs // want `numeric comparison on a\.StalenessMs` `numeric comparison on b\.StalenessMs`
+}
+
+// compareGuarded is the compliant shape (replication.go's bestEndpoint):
+// explicit sentinel checks dominate the ordering comparison.
+func compareGuarded(cur, st shardStatus) bool {
+	if cur.StalenessMs < 0 {
+		return true
+	}
+	if st.StalenessMs < 0 {
+		return false
+	}
+	return cur.StalenessMs > st.StalenessMs
+}
+
+// guardInOr: the one-expression guarded form also counts — the guards
+// lexically precede the comparison.
+func guardInOr(cur, st shardStatus) bool {
+	return cur.StalenessMs < 0 || (st.StalenessMs >= 0 && cur.StalenessMs > st.StalenessMs)
+}
+
+// localVar: plain variables named stalenessMs obey the same rule.
+func localVar(stalenessMs, bound float64) bool {
+	return stalenessMs > bound // want `numeric comparison on stalenessMs`
+}
+
+// equalityIsFine: equality against a non-constant is not an ordering
+// comparison — it cannot rank unknown.
+func equalityIsFine(a, b shardStatus) bool {
+	return a.StalenessMs == b.StalenessMs
+}
+
+// otherFieldsAreFine: the rule keys on the staleness names only.
+func otherFieldsAreFine(a, b shardStatus) bool {
+	return a.LastSeq > b.LastSeq
+}

@@ -1,0 +1,48 @@
+// Fixture for //lint:quaestor suppression handling: a justified waiver
+// silences its finding and records why; reasonless, stale, and
+// wrong-analyzer waivers are findings of their own.
+package store
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type snap struct {
+	snapMu sync.Mutex
+	f      *os.File
+}
+
+// justifiedSync: the waiver silences the fsync finding and records the
+// justification for the audit listing.
+func (s *snap) justifiedSync() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	//lint:quaestor lockio -- fixture: fsync must ride inside the snapshot critical section
+	s.f.Sync()
+}
+
+// reasonlessWaiver: a waiver without a justification is malformed — it
+// is reported and silences nothing.
+func (s *snap) reasonlessWaiver() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	//lint:quaestor lockio // want `suppression comment has no justification`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while "s\.snapMu" is held`
+}
+
+// wrongAnalyzer: naming a different analyzer does not silence the
+// finding (and the stale-waiver check skips analyzers that did not run).
+func (s *snap) wrongAnalyzer() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	//lint:quaestor stalesentinel -- fixture: wrong analyzer name
+	time.Sleep(time.Millisecond) // want `time\.Sleep while "s\.snapMu" is held`
+}
+
+// unusedWaiver: a well-formed waiver that silences nothing is stale.
+func (s *snap) unusedWaiver() {
+	//lint:quaestor lockio -- fixture: nothing here needs a waiver // want `silences no finding`
+	s.f.Close()
+}

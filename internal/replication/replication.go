@@ -158,6 +158,7 @@ func (o *Options) withDefaults() Options {
 		out.Name = "replica"
 	}
 	if out.Client == nil {
+		//lint:quaestor ctxdeadline -- the replication stream is long-lived by design; liveness comes from heartbeats and reconnect backoff, not a per-request deadline
 		out.Client = &http.Client{}
 	}
 	if out.MinBackoff <= 0 {

@@ -22,6 +22,7 @@ import (
 	"quaestor/internal/replication"
 	"quaestor/internal/server"
 	"quaestor/internal/store"
+	"quaestor/internal/testutil"
 	"quaestor/internal/wal"
 )
 
@@ -210,6 +211,9 @@ func TestPropertyReplicaConvergesUnderConcurrentWriters(t *testing.T) {
 	}
 	for _, mode := range []string{"memory", "durable"} {
 		t.Run(mode, func(t *testing.T) {
+			// Attach/detach must not strand sync loops or pump goroutines
+			// past the subtest's own replica/primary teardown.
+			testutil.VerifyNoGoroutineLeaks(t)
 			dir, rdir := "", ""
 			if mode == "durable" {
 				dir, rdir = t.TempDir(), t.TempDir()
@@ -361,6 +365,9 @@ func TestReplicaIdempotentReapply(t *testing.T) {
 // replication position; the overlap the ring re-delivers must apply as
 // a no-op and the pair must still converge byte-equal.
 func TestReplicaCrashRestartResumes(t *testing.T) {
+	// The crashed replica's first incarnation must fully wind down — a
+	// leaked sync loop from the pre-crash Replica would show up here.
+	testutil.VerifyNoGoroutineLeaks(t)
 	const writers = 32
 	opsEach := 30
 	if testing.Short() {

@@ -239,6 +239,7 @@ func (s *Store) ImportSnapshot(r io.Reader) (ImportInfo, error) {
 		if err := tmpW.Flush(); err != nil {
 			return ImportInfo{}, err
 		}
+		//lint:quaestor lockio -- local fsync of the teed snapshot before the atomic rename; snapMu is the import's own serialization lock and must span the whole commit
 		if err := tmpF.Sync(); err != nil {
 			return ImportInfo{}, err
 		}

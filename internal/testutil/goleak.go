@@ -1,0 +1,102 @@
+// Package testutil holds shared test-only helpers. The flagship is the
+// goroutine-leak check: a hand-rolled snapshot-diff over runtime.Stack
+// (the module deliberately has no external deps, so no goleak import).
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoGoroutineLeaks snapshots the live goroutines and registers a
+// cleanup that fails the test if new goroutines outlive it. Call it
+// first thing in the test: t.Cleanup runs LIFO, so registering before
+// the test's own teardown means the check observes the fully-torn-down
+// state. Shutdown is asynchronous (server connections drain, pump
+// goroutines notice closed subscriptions), so the check polls until the
+// diff is clean or a 5s deadline expires.
+func VerifyNoGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	before := snapshotGoroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := diffGoroutines(before, snapshotGoroutines())
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("leaked %d goroutine(s) past test teardown:\n\n%s",
+					len(leaked), strings.Join(leaked, "\n\n"))
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	})
+}
+
+// goroutineSet is a multiset of normalized stacks plus one raw
+// representative per key for reporting.
+type goroutineSet struct {
+	counts map[string]int
+	raw    map[string]string
+}
+
+func snapshotGoroutines() goroutineSet {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	set := goroutineSet{counts: map[string]int{}, raw: map[string]string{}}
+	for _, block := range strings.Split(strings.TrimSpace(string(buf)), "\n\n") {
+		key := normalizeStack(block)
+		if key == "" {
+			continue
+		}
+		set.counts[key]++
+		set.raw[key] = block
+	}
+	return set
+}
+
+// normalizeStack reduces one goroutine block to its creation-site
+// identity: the file:line frames with pointer offsets stripped, so the
+// same goroutine matches across snapshots regardless of its scheduling
+// state or argument values. The goroutine running the snapshot itself
+// returns "" (its stack necessarily differs between the two snapshots).
+func normalizeStack(block string) string {
+	if strings.Contains(block, "testutil.snapshotGoroutines") {
+		return ""
+	}
+	var frames []string
+	for _, line := range strings.Split(block, "\n")[1:] {
+		if !strings.HasPrefix(line, "\t") {
+			continue
+		}
+		loc := strings.TrimSpace(line)
+		if i := strings.LastIndex(loc, " +0x"); i >= 0 {
+			loc = loc[:i]
+		}
+		frames = append(frames, loc)
+	}
+	return strings.Join(frames, "|")
+}
+
+// diffGoroutines returns a raw stack per goroutine present in after
+// beyond its multiplicity in before.
+func diffGoroutines(before, after goroutineSet) []string {
+	var leaked []string
+	for key, n := range after.counts {
+		if n > before.counts[key] {
+			leaked = append(leaked, after.raw[key])
+		}
+	}
+	return leaked
+}
